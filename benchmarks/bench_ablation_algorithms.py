@@ -1,0 +1,54 @@
+"""Ablation: HyPE's algorithm selection on/off.
+
+HyPE "selects for each operator a suitable algorithm" (Sec. 5.2):
+small inputs get low-startup variants (nested-loop join, insertion
+sort), bulk inputs the high-throughput defaults.  Disabling the
+selection forces the bulk defaults everywhere.
+"""
+
+import pytest
+
+from repro.harness import experiments as E
+from repro.harness.runner import run_workload
+from repro.harness.tables import ExperimentResult
+from repro.workloads import ssb
+
+
+def sweep_algorithm_selection(repetitions=3):
+    database = E.ssb_database(10)
+    queries = ssb.workload(database)
+    result = ExperimentResult(
+        "Ablation: HyPE algorithm selection (SSB, single user)"
+    )
+    for enabled in (True, False):
+        run = run_workload(
+            database, queries, "data_driven_chopping",
+            config=E.FULL_CONFIG, repetitions=repetitions,
+            algorithm_selection=enabled,
+        )
+        variants = sum(
+            count for key, count in run.metrics.algorithms.items()
+            if "#" in key and not (
+                key.endswith("hash_join") or key.endswith("radix_sort")
+                or key.endswith("hash_aggregate")
+            )
+        )
+        result.add(
+            algorithm_selection=enabled,
+            seconds=run.seconds,
+            variant_executions=variants,
+        )
+    return result
+
+
+def test_ablation_algorithms(benchmark):
+    result = benchmark.pedantic(sweep_algorithm_selection, rounds=1,
+                                iterations=1)
+    print()
+    result.print()
+    rows = {row["algorithm_selection"]: row for row in result.rows}
+    # with selection enabled, non-default variants actually run
+    assert rows[True]["variant_executions"] > 0
+    assert rows[False]["variant_executions"] == 0
+    # selection never hurts (it minimizes per-operator estimates)
+    assert rows[True]["seconds"] <= rows[False]["seconds"] * 1.02

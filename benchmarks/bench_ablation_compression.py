@@ -1,0 +1,59 @@
+"""Ablation: database compression (Sec. 6.3 discussion).
+
+"We can improve the scalability by compressing the database, which
+shifts the point where performance breaks down to a larger scale factor
+or number of users.  Thus, compression neither solves the cache
+thrashing nor the heap contention problem."
+"""
+
+import copy
+
+from repro.harness import experiments as E
+from repro.harness.runner import run_workload, workload_footprint_bytes
+from repro.harness.tables import ExperimentResult
+from repro.hardware import SystemConfig
+from repro.hardware.calibration import GIB
+from repro.storage.compression import compress_database
+from repro.workloads import micro
+
+
+def sweep_compression(buffer_gib=(0.0, 0.5, 1.0, 1.5, 2.0), repetitions=6):
+    result = ExperimentResult(
+        "Ablation: compression shifts the thrashing breakdown point",
+        notes="Serial selection workload (App. B.1) with and without "
+              "column compression.",
+    )
+    for compressed in (False, True):
+        database = copy.deepcopy(E.ssb_database(10))
+        if compressed:
+            compress_database(database)
+        queries = micro.serial_selection_workload(database)
+        footprint = workload_footprint_bytes(queries, database)
+        for gib in buffer_gib:
+            config = SystemConfig(
+                gpu_memory_bytes=4 * GIB, gpu_cache_bytes=int(gib * GIB)
+            )
+            run = run_workload(database, queries, "gpu_only",
+                               config=config, repetitions=repetitions)
+            result.add(
+                compressed=compressed,
+                buffer_gib=gib,
+                working_set_gib=footprint / GIB,
+                seconds=run.seconds,
+                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
+            )
+    return result
+
+
+def test_ablation_compression(benchmark):
+    result = benchmark.pedantic(sweep_compression, rounds=1, iterations=1)
+    print()
+    result.print()
+    series = result.series("buffer_gib", "seconds", "compressed")
+    plain = dict(series[False])
+    packed = dict(series[True])
+    # the breakdown point moves left: at 1.0 GiB the compressed working
+    # set already fits while the uncompressed one still thrashes
+    assert packed[1.0] < plain[1.0] / 2
+    # but with no cache at all, compression does not remove the effect
+    assert packed[0.0] > 4 * packed[2.0]

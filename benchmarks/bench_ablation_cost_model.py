@@ -1,0 +1,51 @@
+"""Ablation: learned vs. purely analytical cost models in run-time
+placement.
+
+HyPE bootstraps from the analytical profile and refines with observed
+runtimes; this ablation disables learning to quantify its effect.
+"""
+
+from repro.harness import experiments as E
+from repro.harness.runner import run_workload
+from repro.harness.tables import ExperimentResult
+from repro.hype import LearnedCostModel
+from repro.workloads import ssb
+
+
+def sweep_cost_models(users=10, repetitions=3):
+    database = E.ssb_database(10)
+    queries = ssb.workload(database)
+    result = ExperimentResult(
+        "Ablation: learned vs. analytical cost model (chopping)"
+    )
+    original_init = LearnedCostModel.__init__
+
+    def analytical_only_init(self, profile, store=None,
+                             min_observations=8, refit_interval=16):
+        original_init(self, profile, store,
+                      min_observations=10**9,  # never enough to fit
+                      refit_interval=refit_interval)
+
+    for mode, init in (("learned", original_init),
+                       ("analytical", analytical_only_init)):
+        LearnedCostModel.__init__ = init
+        try:
+            run = run_workload(
+                database, queries, "chopping", config=E.FULL_CONFIG,
+                users=users, repetitions=repetitions,
+            )
+        finally:
+            LearnedCostModel.__init__ = original_init
+        result.add(cost_model=mode, seconds=run.seconds,
+                   aborts=run.metrics.aborts,
+                   h2d_seconds=run.metrics.cpu_to_gpu_seconds)
+    return result
+
+
+def test_ablation_cost_model(benchmark):
+    result = benchmark.pedantic(sweep_cost_models, rounds=1, iterations=1)
+    print()
+    result.print()
+    seconds = {row["cost_model"]: row["seconds"] for row in result.rows}
+    # both run; the learned model must not be catastrophically worse
+    assert seconds["learned"] <= seconds["analytical"] * 1.5

@@ -1,0 +1,56 @@
+"""Ablation: sensitivity to the operator heap-footprint factor.
+
+The heap-contention breakeven point n = M / (f * |C|) moves with the
+footprint factor f (3.25 for the paper's GPU selection).
+"""
+
+import dataclasses
+
+from repro.harness import experiments as E
+from repro.harness.runner import run_workload
+from repro.harness.tables import ExperimentResult
+from repro.hardware.calibration import (
+    COGADB_PROFILE,
+    FOOTPRINT_FACTORS,
+    EngineProfile,
+)
+from repro.workloads import micro
+
+
+def profile_with_selection_factor(factor):
+    factors = dict(FOOTPRINT_FACTORS)
+    factors["selection"] = factor
+    return EngineProfile(
+        name="cogadb-f{}".format(factor),
+        costs=COGADB_PROFILE.costs,
+        footprint_factors=factors,
+    )
+
+
+def sweep_footprint(factors=(1.0, 2.0, 3.25, 5.0), users=10,
+                    total_queries=60):
+    database = E.ssb_database(10)
+    queries = micro.parallel_selection_workload(database)
+    result = ExperimentResult(
+        "Ablation: selection footprint factor vs. contention"
+    )
+    for factor in factors:
+        config = dataclasses.replace(
+            E.MICRO_CONFIG, profile=profile_with_selection_factor(factor)
+        )
+        run = run_workload(
+            database, queries, "gpu_only", config=config,
+            users=users, repetitions=total_queries,
+        )
+        result.add(factor=factor, seconds=run.seconds,
+                   aborts=run.metrics.aborts)
+    return result
+
+
+def test_ablation_footprint(benchmark):
+    result = benchmark.pedantic(sweep_footprint, rounds=1, iterations=1)
+    print()
+    result.print()
+    by_factor = {row["factor"]: row for row in result.rows}
+    # smaller footprints fit more parallel operators: fewer aborts
+    assert by_factor[1.0]["aborts"] <= by_factor[5.0]["aborts"]

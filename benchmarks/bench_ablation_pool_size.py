@@ -1,0 +1,42 @@
+"""Ablation: the width of the chopping worker pool.
+
+DESIGN.md calls out the thread-pool width as the knob trading GPU
+utilisation against abort probability: too many workers re-introduce
+heap contention, one worker under-uses the device.
+"""
+
+from repro.harness import experiments as E
+from repro.harness.runner import run_workload
+from repro.harness.tables import ExperimentResult
+from repro.workloads import micro
+
+
+def sweep_pool_sizes(gpu_workers_list=(1, 2, 4, 8, 16), users=20,
+                     total_queries=100):
+    database = E.ssb_database(10)
+    queries = micro.parallel_selection_workload(database)
+    result = ExperimentResult("Ablation: chopping GPU worker pool width")
+    for gpu_workers in gpu_workers_list:
+        run = run_workload(
+            database, queries, "chopping", config=E.MICRO_CONFIG,
+            users=users, repetitions=total_queries,
+            gpu_workers=gpu_workers,
+        )
+        result.add(
+            gpu_workers=gpu_workers,
+            seconds=run.seconds,
+            aborts=run.metrics.aborts,
+            wasted_seconds=run.metrics.wasted_seconds,
+        )
+    return result
+
+
+def test_ablation_pool_size(benchmark):
+    result = benchmark.pedantic(sweep_pool_sizes, rounds=1, iterations=1)
+    print()
+    result.print()
+    by_width = {row["gpu_workers"]: row for row in result.rows}
+    # a small pool avoids aborts entirely
+    assert by_width[2]["aborts"] == 0
+    # a very wide pool re-introduces contention (aborts appear)
+    assert by_width[16]["aborts"] > 0

@@ -1,0 +1,58 @@
+"""Ablation: ready-queue discipline of the chopping executor.
+
+The paper observes that under Chopping "short running queries become
+slower to some degree, whereas long running queries are accelerated"
+(Sec. 6.2.2).  A shortest-job-first ready queue (by HyPE's runtime
+estimate) is the classic counter-measure; this ablation quantifies the
+effect on the SSB mix at 20 users.
+"""
+
+import pytest
+
+from repro.harness import experiments as E
+from repro.harness.runner import run_workload
+from repro.harness.tables import ExperimentResult
+from repro.workloads import ssb
+
+
+def sweep_scheduling(users=20, repetitions=3):
+    database = E.ssb_database(10)
+    queries = ssb.workload(database)
+    result = ExperimentResult(
+        "Ablation: FIFO vs SJF ready queues (SSB, 20 users)"
+    )
+    for scheduling in ("fifo", "sjf"):
+        run = run_workload(
+            database, queries, "data_driven_chopping",
+            config=E.FULL_CONFIG, users=users, repetitions=repetitions,
+            scheduling=scheduling,
+        )
+        latencies = run.metrics.latencies_by_query()
+        short = min(latencies, key=latencies.get)
+        long_ = max(latencies, key=latencies.get)
+        result.add(
+            scheduling=scheduling,
+            makespan=run.seconds,
+            mean_latency=run.metrics.mean_latency(),
+            shortest_query=short,
+            shortest_latency=latencies[short],
+            longest_query=long_,
+            longest_latency=latencies[long_],
+        )
+    return result
+
+
+def test_ablation_scheduling(benchmark):
+    result = benchmark.pedantic(sweep_scheduling, rounds=1, iterations=1)
+    print()
+    result.print()
+    rows = {row["scheduling"]: row for row in result.rows}
+    # the discipline must not change the total amount of work
+    assert rows["sjf"]["makespan"] == pytest.approx(
+        rows["fifo"]["makespan"], rel=0.25
+    )
+    # SJF does not hurt the short end of the mix
+    assert rows["sjf"]["shortest_latency"] <= (
+        rows["fifo"]["shortest_latency"] * 1.1
+    )
+

@@ -1,0 +1,61 @@
+"""Extension: the vector-at-a-time processing model (Sec. 5.5).
+
+"Cache thrashing and heap contention can lead to the same performance
+penalties observed in this paper [under vectorized execution].  Heap
+contention is reduced to pipeline-breaking operators, but for a
+reasonably complex query workload the DBMS is still required to deal
+with this problem."
+
+This benchmark runs the SSB workload under both processing models and
+shows (a) vectorized execution softens the cold-data penalty by
+streaming, (b) its heap demand concentrates at the breakers but does
+not vanish.
+"""
+
+import dataclasses
+
+from repro.harness import experiments as E
+from repro.harness.runner import run_workload
+from repro.harness.tables import ExperimentResult
+from repro.hardware import SystemConfig
+from repro.hardware.calibration import GIB
+from repro.workloads import ssb
+
+
+def sweep_processing_models(users=(1, 10), repetitions=2):
+    database = E.ssb_database(10)
+    queries = ssb.workload(database)
+    result = ExperimentResult(
+        "Extension: operator-at-a-time vs vector-at-a-time (SSB, SF 10)"
+    )
+    for model in ("operator", "vectorized"):
+        for n_users in users:
+            run = run_workload(
+                database, queries, "data_driven_chopping",
+                config=E.FULL_CONFIG, users=n_users,
+                repetitions=repetitions, processing_model=model,
+            )
+            result.add(
+                model=model,
+                users=n_users,
+                seconds=run.seconds,
+                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
+                aborts=run.metrics.aborts,
+                peak_heap_gib=run.metrics.peak_heap_bytes / GIB,
+            )
+    return result
+
+
+def test_extension_vectorized(benchmark):
+    result = benchmark.pedantic(sweep_processing_models, rounds=1,
+                                iterations=1)
+    print()
+    result.print()
+    rows = {(r["model"], r["users"]): r for r in result.rows}
+    # vectorized pipelines materialise only at breakers: the peak heap
+    # demand is lower than the operator model's footprints
+    assert (rows[("vectorized", 10)]["peak_heap_gib"]
+            <= rows[("operator", 10)]["peak_heap_gib"])
+    # and the model change never breaks robustness (comparable time)
+    assert (rows[("vectorized", 10)]["seconds"]
+            <= rows[("operator", 10)]["seconds"] * 1.5)

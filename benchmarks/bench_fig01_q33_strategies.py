@@ -1,0 +1,15 @@
+"""Figure 1: SSB Q3.3 under CPU / cold-cache GPU / hot-cache GPU.
+
+Paper claim: a hot-cache GPU accelerates the query ~2.5x while a
+cold-cache GPU is ~3x slower than the CPU because of PCIe transfers.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig01_q33_strategies(benchmark):
+    result = regenerate(benchmark, E.figure01, scale_factor=20,
+                        repetitions=3)
+    seconds = {row["strategy"]: row["seconds"] for row in result.rows}
+    assert seconds["gpu (cold cache)"] > seconds["cpu"]

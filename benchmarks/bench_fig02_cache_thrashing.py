@@ -1,0 +1,18 @@
+"""Figure 2: serial selection workload vs. GPU buffer size
+(operator-driven placement).
+
+Paper claim: a factor ~24 degradation once the 1.9 GB working set no
+longer fits the buffer.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig02_cache_thrashing(benchmark):
+    result = regenerate(
+        benchmark, E.figure02,
+        buffer_gib=(0.0, 0.5, 1.0, 1.5, 1.75, 2.0, 2.5), repetitions=10,
+    )
+    gpu = dict(result.series("buffer_gib", "seconds", "strategy")["gpu_only"])
+    assert gpu[0.0] / gpu[2.5] > 10

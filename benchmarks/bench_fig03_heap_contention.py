@@ -1,0 +1,18 @@
+"""Figure 3: parallel selection workload vs. #users (operator-driven).
+
+Paper claim: performance degrades once more than ~7 users run in
+parallel — their accumulated 3.25x-input footprints exceed the ~5 GB
+device heap.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig03_heap_contention(benchmark):
+    result = regenerate(
+        benchmark, E.figure03,
+        users=(1, 2, 4, 6, 7, 8, 10, 14, 20), total_queries=100,
+    )
+    gpu = dict(result.series("users", "seconds", "strategy")["gpu_only"])
+    assert gpu[20] > gpu[4] * 1.5

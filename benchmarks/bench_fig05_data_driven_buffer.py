@@ -1,0 +1,18 @@
+"""Figure 5: the buffer-size sweep with Data-Driven placement.
+
+Paper claim: Data-Driven eliminates the thrashing degradation and
+improves monotonically as more columns fit the cache.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig05_data_driven_buffer(benchmark):
+    result = regenerate(
+        benchmark, E.figure05,
+        buffer_gib=(0.0, 0.5, 1.0, 1.5, 2.0, 2.5), repetitions=10,
+    )
+    dd = [s for _, s in
+          result.series("buffer_gib", "seconds", "strategy")["data_driven"]]
+    assert all(b <= a * 1.05 for a, b in zip(dd, dd[1:]))

@@ -1,0 +1,19 @@
+"""Figure 6: time spent on data transfers in the selection workload.
+
+Paper claim: the thrashing degradation is fully explained by CPU->GPU
+copy time; Data-Driven transfers (almost) nothing.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig06_transfer_times(benchmark):
+    result = regenerate(
+        benchmark, E.figure06,
+        buffer_gib=(0.0, 1.0, 2.0, 2.5), repetitions=10,
+    )
+    series = result.series("buffer_gib", "h2d_seconds", "strategy")
+    gpu = dict(series["gpu_only"])
+    dd = dict(series["data_driven"])
+    assert gpu[0.0] > 10 * max(dd[0.0], 1e-9)

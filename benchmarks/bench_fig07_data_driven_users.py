@@ -1,0 +1,17 @@
+"""Figure 7: Data-Driven placement under parallel users.
+
+Paper claim: Data-Driven does NOT solve heap contention — the same
+degradation as operator-driven placement appears.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig07_data_driven_users(benchmark):
+    result = regenerate(
+        benchmark, E.figure07, users=(1, 4, 7, 10, 14, 20),
+        total_queries=100,
+    )
+    dd = dict(result.series("users", "seconds", "strategy")["data_driven"])
+    assert dd[20] > dd[4] * 1.5

@@ -1,0 +1,19 @@
+"""Figure 9: run-time operator placement under parallel users.
+
+Paper claim: run-time placement improves on compile-time placement but
+remains clearly off the optimum.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig09_runtime_placement(benchmark):
+    result = regenerate(
+        benchmark, E.figure09, users=(1, 4, 7, 10, 14, 20),
+        total_queries=100,
+    )
+    series = result.series("users", "seconds", "strategy")
+    gpu = dict(series["gpu_only"])
+    runtime = dict(series["runtime"])
+    assert runtime[20] <= gpu[20] * 1.02

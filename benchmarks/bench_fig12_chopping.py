@@ -1,0 +1,20 @@
+"""Figure 12: query chopping under parallel users.
+
+Paper claim: limiting operator concurrency with the thread pool yields
+near-optimal performance.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig12_chopping(benchmark):
+    result = regenerate(
+        benchmark, E.figure12, users=(1, 4, 7, 10, 14, 20),
+        total_queries=100,
+    )
+    series = result.series("users", "seconds", "strategy")
+    chopping = dict(series["chopping"])
+    gpu = dict(series["gpu_only"])
+    assert chopping[20] < gpu[20]
+    assert chopping[20] < chopping[4] * 1.35

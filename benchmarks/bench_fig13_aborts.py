@@ -1,0 +1,20 @@
+"""Figure 13: operator aborts per strategy vs. #users.
+
+Paper claim: compile-time placement aborts the most; run-time placement
+reduces aborts; Chopping (thread pool) nearly removes them.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig13_aborts(benchmark):
+    result = regenerate(
+        benchmark, E.figure13, users=(1, 7, 14, 20), total_queries=100,
+    )
+    series = result.series("users", "aborts", "strategy")
+    gpu = dict(series["gpu_only"])
+    runtime = dict(series["runtime"])
+    chopping = dict(series["chopping"])
+    assert gpu[20] >= runtime[20] >= chopping[20]
+    assert chopping[20] == 0

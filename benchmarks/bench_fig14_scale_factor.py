@@ -1,0 +1,33 @@
+"""Figure 14: SSBM and TPC-H workload time vs. scale factor.
+
+Paper claim: GPU-only falls behind from SF 15; Data-Driven Chopping
+improves performance even when resources become scarce and is never
+slower than CPU-only.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig14a_ssb_scale_factor(benchmark):
+    result = regenerate(
+        benchmark, E.figure14, benchmark="ssb",
+        scale_factors=(5, 10, 15, 20, 30), repetitions=2,
+    )
+    series = result.series("scale_factor", "seconds", "strategy")
+    cpu = dict(series["cpu_only"])
+    gpu = dict(series["gpu_only"])
+    ddc = dict(series["data_driven_chopping"])
+    assert gpu[15] > cpu[15]
+    assert all(ddc[sf] <= cpu[sf] * 1.1 for sf in (5, 10, 15, 20, 30))
+
+
+def test_fig14b_tpch_scale_factor(benchmark):
+    result = regenerate(
+        benchmark, E.figure14, benchmark="tpch",
+        scale_factors=(5, 10, 15, 20, 30), repetitions=2,
+    )
+    series = result.series("scale_factor", "seconds", "strategy")
+    cpu = dict(series["cpu_only"])
+    ddc = dict(series["data_driven_chopping"])
+    assert all(ddc[sf] <= cpu[sf] * 1.15 for sf in (5, 10, 15, 20, 30))

@@ -1,0 +1,30 @@
+"""Figure 15: CPU->GPU transfer time vs. scale factor.
+
+Paper claim: GPU-only is dominated by transfers; Data-Driven (Chopping)
+saves the most IO.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig15a_ssb_scale_transfers(benchmark):
+    result = regenerate(
+        benchmark, E.figure15, benchmark="ssb",
+        scale_factors=(5, 15, 30), repetitions=2,
+    )
+    series = result.series("scale_factor", "h2d_seconds", "strategy")
+    gpu = dict(series["gpu_only"])
+    ddc = dict(series["data_driven_chopping"])
+    assert gpu[30] > 10 * max(ddc[30], 1e-9)
+
+
+def test_fig15b_tpch_scale_transfers(benchmark):
+    result = regenerate(
+        benchmark, E.figure15, benchmark="tpch",
+        scale_factors=(5, 15, 30), repetitions=2,
+    )
+    series = result.series("scale_factor", "h2d_seconds", "strategy")
+    gpu = dict(series["gpu_only"])
+    ddc = dict(series["data_driven_chopping"])
+    assert gpu[30] > ddc[30]

@@ -1,0 +1,22 @@
+"""Figure 16: memory footprint of the SSBM/TPC-H workloads vs. scale
+factor.
+
+Paper claim: from SF 15 the footprint significantly exceeds the data
+cache, which is where cache thrashing sets in.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+from repro.harness.experiments import FULL_CONFIG
+
+
+def test_fig16_footprint(benchmark):
+    result = regenerate(
+        benchmark, E.figure16, scale_factors=(5, 10, 15, 20, 30),
+    )
+    cache_gib = FULL_CONFIG.gpu_cache_bytes / (1 << 30)
+    for row in result.rows:
+        expected = row["footprint_gib"] > cache_gib
+        assert row["exceeds_cache"] == expected
+        if row["scale_factor"] >= 15:
+            assert row["exceeds_cache"], row

@@ -1,0 +1,20 @@
+"""Figure 17: per-query SSB execution times, single user, SF 30.
+
+Paper claims: GPU-only slows every query; Critical Path matches
+CPU-only; high-selectivity queries (Q3.4) gain up to ~2.5x under
+Data-Driven Chopping.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig17_ssb_queries_sf30(benchmark):
+    result = regenerate(benchmark, E.figure17, repetitions=2)
+    table = {}
+    for row in result.rows:
+        table.setdefault(row["query"], {})[row["strategy"]] = row["seconds"]
+    q34 = table["Q3.4"]
+    assert q34["cpu_only"] / q34["data_driven_chopping"] > 1.8
+    for query, row in table.items():
+        assert row["gpu_only"] > row["cpu_only"], query

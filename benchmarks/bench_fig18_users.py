@@ -1,0 +1,31 @@
+"""Figure 18: full-workload execution time vs. #users (SF 10).
+
+Paper claim: the dynamic fault reaction of Chopping improves
+performance; Data-Driven Chopping beats a naive GPU execution by
+~1.4-1.7x under parallel load.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig18a_ssb_users(benchmark):
+    result = regenerate(
+        benchmark, E.figure18, benchmark="ssb", users=(1, 5, 10, 20),
+        repetitions=3,
+    )
+    series = result.series("users", "seconds", "strategy")
+    gpu = dict(series["gpu_only"])
+    ddc = dict(series["data_driven_chopping"])
+    assert ddc[20] < gpu[20]
+
+
+def test_fig18b_tpch_users(benchmark):
+    result = regenerate(
+        benchmark, E.figure18, benchmark="tpch", users=(1, 5, 10, 20),
+        repetitions=3,
+    )
+    series = result.series("users", "seconds", "strategy")
+    gpu = dict(series["gpu_only"])
+    ddc = dict(series["data_driven_chopping"])
+    assert ddc[20] <= gpu[20]

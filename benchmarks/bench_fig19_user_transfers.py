@@ -1,0 +1,19 @@
+"""Figure 19: CPU->GPU transfer time vs. #users (SF 10).
+
+Paper claim: Chopping reduces the required IO significantly, especially
+with many parallel users (up to 48x for the SSBM).
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig19_user_transfers(benchmark):
+    result = regenerate(
+        benchmark, E.figure19, benchmark="ssb", users=(1, 10, 20),
+        repetitions=3,
+    )
+    series = result.series("users", "h2d_seconds", "strategy")
+    gpu = dict(series["gpu_only"])
+    ddc = dict(series["data_driven_chopping"])
+    assert gpu[20] > 10 * max(ddc[20], 1e-9)

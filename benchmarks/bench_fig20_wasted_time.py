@@ -1,0 +1,19 @@
+"""Figure 20: wasted time of aborted GPU operators vs. #users (SSBM).
+
+Paper claim: wasted time grows sharply with user parallelism; Chopping
+and Data-Driven Chopping reduce it by up to a factor of 74.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig20_wasted_time(benchmark):
+    result = regenerate(
+        benchmark, E.figure20, users=(1, 5, 10, 20), repetitions=3,
+    )
+    series = result.series("users", "wasted_seconds", "strategy")
+    gpu = dict(series["gpu_only"])
+    chop = dict(series["chopping"])
+    assert gpu[20] > gpu[1]
+    assert gpu[20] > 5 * max(chop[20], 1e-9)

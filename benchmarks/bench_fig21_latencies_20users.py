@@ -1,0 +1,21 @@
+"""Figure 21: SSB query latencies with 20 parallel users (SF 10),
+including the single-query admission-control reference point.
+
+Paper claim: Chopping is as fast as or faster than admission control;
+long-running queries accelerate, short ones may slow slightly.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig21_latencies_20users(benchmark):
+    result = regenerate(benchmark, E.figure21, repetitions=2)
+    table = {}
+    for row in result.rows:
+        table.setdefault(row["strategy"], {})[row["query"]] = row["seconds"]
+    chopping = table["chopping"]
+    admission = table["admission_control"]
+    mean_chop = sum(chopping.values()) / len(chopping)
+    mean_admission = sum(admission.values()) / len(admission)
+    assert mean_chop <= mean_admission * 1.1

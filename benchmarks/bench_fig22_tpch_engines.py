@@ -1,0 +1,20 @@
+"""Figure 22: TPC-H per-query times, CoGaDB vs. the Ocelot profile
+(CPU and GPU backends, SF 10, no thrashing/contention).
+
+Paper claim (App. A): both engines accelerate on the GPU and are
+competitive with each other.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig22_tpch_engines(benchmark):
+    result = regenerate(benchmark, E.figure22, repetitions=2)
+    table = {}
+    for row in result.rows:
+        table.setdefault((row["engine"], row["backend"]), {})[
+            row["query"]] = row["seconds"]
+    for engine in ("cogadb", "ocelot"):
+        cpu, gpu = table[(engine, "cpu")], table[(engine, "gpu")]
+        assert sum(gpu[q] < cpu[q] for q in cpu) >= len(cpu) - 1

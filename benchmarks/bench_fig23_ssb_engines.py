@@ -1,0 +1,20 @@
+"""Figure 23: SSB per-query times, CoGaDB vs. the Ocelot profile.
+
+Paper claim (App. A): Ocelot's CPU backend is faster on most SSB
+queries; the GPU backends are comparable.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig23_ssb_engines(benchmark):
+    result = regenerate(benchmark, E.figure23, repetitions=2)
+    table = {}
+    for row in result.rows:
+        table.setdefault((row["engine"], row["backend"]), {})[
+            row["query"]] = row["seconds"]
+    cogadb_gpu = table[("cogadb", "gpu")]
+    ocelot_gpu = table[("ocelot", "gpu")]
+    for query in cogadb_gpu:
+        assert 0.5 < cogadb_gpu[query] / ocelot_gpu[query] < 2.0

@@ -1,0 +1,21 @@
+"""Figure 24: LFU vs. LRU data placement over the cache fraction.
+
+Paper claim (App. E): times improve until the working set fits; the
+policy itself has only minor impact (LFU slightly better in corner
+cases).
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig24_lfu_lru(benchmark):
+    result = regenerate(
+        benchmark, E.figure24,
+        fractions=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0), repetitions=2,
+    )
+    series = result.series("cache_fraction", "seconds", "policy")
+    lru = dict(series["lru"])
+    lfu = dict(series["lfu"])
+    assert lru[0.8] < lru[0.0]
+    assert lfu[0.8] < lfu[0.0]

@@ -1,0 +1,22 @@
+"""Figure 25: latencies of all SSB queries for varying #users (SF 10).
+
+Paper claim: with increasing parallelism, Chopping keeps latencies
+bounded while a naive GPU execution degrades.
+"""
+
+from benchmarks.common import regenerate
+from repro.harness import experiments as E
+
+
+def test_fig25_latency_matrix(benchmark):
+    result = regenerate(
+        benchmark, E.figure25, users=(1, 10, 20), repetitions=2,
+        strategies=("gpu_only", "chopping", "data_driven_chopping"),
+    )
+    # mean latency over all queries at 20 users: chopping wins
+    by_strategy = {}
+    for row in result.rows:
+        if row["users"] == 20:
+            by_strategy.setdefault(row["strategy"], []).append(row["seconds"])
+    mean = {k: sum(v) / len(v) for k, v in by_strategy.items()}
+    assert mean["data_driven_chopping"] <= mean["gpu_only"]

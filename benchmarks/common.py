@@ -1,0 +1,25 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+corresponding harness driver once under pytest-benchmark (measuring the
+harness wall time) and prints the resulting series — the rows a plot of
+the figure would be drawn from.
+"""
+
+from __future__ import annotations
+
+
+def regenerate(bench_fixture, driver, **kwargs):
+    """Run a figure driver once under the benchmark fixture and print
+    the resulting table.
+
+    ``kwargs`` are forwarded to the driver (they may legitimately
+    contain a ``benchmark=`` workload-name argument, hence the fixture
+    comes first under a different name).
+    """
+    result = bench_fixture.pedantic(
+        lambda: driver(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    result.print()
+    return result

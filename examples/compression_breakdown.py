@@ -1,0 +1,68 @@
+"""Scenario: compression shifts the breakdown point (paper Sec. 6.3).
+
+"We can improve the scalability by compressing the database, which
+shifts the point where performance breaks down to a larger scale factor
+... compression neither solves the cache thrashing nor the heap
+contention problem."
+
+Runs the cache-thrashing micro benchmark with and without column
+compression and prints the per-column codec report.
+
+Run with:  python examples/compression_breakdown.py
+"""
+
+import copy
+
+from repro import SystemConfig, run_workload, ssb
+from repro.hardware.calibration import GIB
+from repro.storage.compression import compress_database, compression_summary
+from repro.workloads import micro
+
+BUFFERS = (0.0, 0.5, 1.0, 1.5, 2.0)
+
+
+def workload_time(database, buffer_gib):
+    queries = micro.serial_selection_workload(database)
+    config = SystemConfig(gpu_memory_bytes=4 * GIB,
+                          gpu_cache_bytes=int(buffer_gib * GIB))
+    run = run_workload(database, queries, "gpu_only", config=config,
+                       repetitions=8)
+    return run.seconds
+
+
+def main():
+    plain = ssb.generate(scale_factor=10, data_scale=1e-4)
+    packed = copy.deepcopy(plain)
+    report = compress_database(packed)
+
+    print("Compression report (lineorder columns):")
+    lines = compression_summary(report).splitlines()
+    print("\n".join(l for l in lines if "lineorder" in l or "codec" in l))
+    before = sum(
+        plain.column(k).nominal_bytes
+        for k in micro.SERIAL_SELECTION_COLUMNS
+    )
+    after = sum(
+        packed.column(k).nominal_bytes
+        for k in micro.SERIAL_SELECTION_COLUMNS
+    )
+    print("\nWorking set: {:.2f} GiB -> {:.2f} GiB\n".format(
+        before / GIB, after / GIB))
+
+    print("{:>10s} {:>14s} {:>14s}".format("buffer", "plain", "compressed"))
+    for buffer_gib in BUFFERS:
+        print("{:>8.2f}G {:>13.3f}s {:>13.3f}s".format(
+            buffer_gib,
+            workload_time(plain, buffer_gib),
+            workload_time(packed, buffer_gib),
+        ))
+
+    print(
+        "\nReading: the compressed working set fits a much smaller\n"
+        "buffer, moving the thrashing cliff left — but with no cache at\n"
+        "all the degradation is still there, exactly as the paper argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

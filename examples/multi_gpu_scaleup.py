@@ -1,0 +1,62 @@
+"""Scenario: scaling past one co-processor (paper Sec. 6.3).
+
+At scale factor 30 the SSB working set (~6.7 GiB) dwarfs a single
+4 GiB device, so even Data-Driven Chopping spends most of its time on
+the CPU.  Adding devices lets the placement manager partition the hot
+columns (replicating the small dimension structures), and the
+data-driven rule routes each operator to the device holding its
+inputs — the horizontal scale-out the paper sketches.
+
+Run with:  python examples/multi_gpu_scaleup.py
+"""
+
+from repro import SystemConfig, run_workload, ssb
+from repro.hardware.calibration import GIB
+
+GPU_COUNTS = (1, 2, 4)
+STRATEGIES = ("chopping", "data_driven_chopping")
+
+
+def main():
+    database = ssb.generate(scale_factor=30, data_scale=1e-4)
+    queries = ssb.workload(database)
+    working_set = sum(
+        database.column(key).nominal_bytes
+        for query in queries
+        for key in query.required_columns()
+    )
+    print("SSB at scale factor 30, 10 concurrent users")
+    print("Working set: {:.2f} GiB; device cache: 1.5 GiB each\n".format(
+        working_set / GIB))
+
+    print("{:24s} {:>6s} {:>10s} {:>10s} {:>8s}".format(
+        "strategy", "GPUs", "seconds", "PCIe s", "GPU ops"))
+    for strategy in STRATEGIES:
+        for gpus in GPU_COUNTS:
+            config = SystemConfig(
+                gpu_count=gpus,
+                gpu_memory_bytes=4 * GIB,
+                gpu_cache_bytes=int(1.5 * GIB),
+            )
+            run = run_workload(database, queries, strategy, config=config,
+                               users=10, repetitions=2)
+            gpu_ops = sum(
+                count
+                for name, count in
+                run.metrics.operators_per_processor.items()
+                if name != "cpu"
+            )
+            print("{:24s} {:>6d} {:>10.3f} {:>10.3f} {:>8d}".format(
+                strategy, gpus, run.seconds,
+                run.metrics.transfer_seconds, gpu_ops))
+
+    print(
+        "\nReading: each added device holds more of the hot column set,\n"
+        "so more operators run device-side without transfers.  The\n"
+        "paper's caveat also shows: the basic problems stay — the\n"
+        "working set still exceeds the combined caches at SF 30."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Scenario: a multi-user BI dashboard hitting heap contention.
+
+Twenty analysts fire star-schema dashboard queries at a GPU-accelerated
+warehouse.  A naive "everything on the GPU" policy collapses once the
+concurrent operators exhaust the device heap (the paper's *heap
+contention*, Sec. 2.3); query chopping keeps throughput and latencies
+stable by pulling operators through a bounded worker pool.
+
+Run with:  python examples/multi_user_dashboard.py
+"""
+
+from repro import run_workload, ssb
+from repro.harness.experiments import FULL_CONFIG
+
+STRATEGIES = ("gpu_only", "admission_control", "chopping",
+              "data_driven_chopping")
+USERS = (1, 5, 10, 20)
+
+
+def main():
+    database = ssb.generate(scale_factor=10, data_scale=1e-4)
+    queries = ssb.workload(database)
+
+    print("SSB dashboard workload, scale factor 10, {} queries/run".format(
+        len(queries) * 2))
+    print("\nWorkload makespan (seconds) by #users:")
+    header = "  {:24s}".format("strategy") + "".join(
+        "{:>9d}".format(u) for u in USERS
+    )
+    print(header)
+    wasted = {}
+    for strategy in STRATEGIES:
+        cells = []
+        for users in USERS:
+            run = run_workload(
+                database, queries, strategy, config=FULL_CONFIG,
+                users=users, repetitions=2,
+            )
+            cells.append(run.seconds)
+            wasted[(strategy, users)] = run.metrics.wasted_seconds
+        print("  {:24s}".format(strategy) + "".join(
+            "{:>9.3f}".format(c) for c in cells
+        ))
+
+    print("\nWasted time of aborted GPU operators at 20 users:")
+    for strategy in STRATEGIES:
+        print("  {:24s} {:>9.3f}s".format(strategy, wasted[(strategy, 20)]))
+
+    print(
+        "\nReading: gpu_only degrades as users grow (heap contention);\n"
+        "admission_control protects the device but queues whole queries;\n"
+        "chopping bounds operator concurrency and stays near-flat, and\n"
+        "data_driven_chopping additionally avoids all cache thrashing."
+    )
+
+
+if __name__ == "__main__":
+    main()

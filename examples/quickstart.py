@@ -1,0 +1,73 @@
+"""Quickstart: load a database, run SQL, compare placement strategies.
+
+Builds a Star Schema Benchmark database, executes one query through the
+full stack (SQL -> plan -> simulated heterogeneous execution), and
+compares the paper's placement strategies on it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    Planner,
+    STRATEGY_NAMES,
+    bind,
+    execute_functional,
+    run_workload,
+    sql_workload,
+    ssb,
+)
+
+
+def main():
+    # 1. Generate data.  scale_factor controls the *nominal* size the
+    #    cost model sees (SF 10 = the paper's 60M-row fact table);
+    #    data_scale shrinks the actual arrays so this demo runs fast.
+    print("Generating SSB database (scale factor 10)...")
+    database = ssb.generate(scale_factor=10, data_scale=1e-4)
+    lineorder = database.table("lineorder")
+    print(
+        "  lineorder: {:,} nominal rows ({:.2f} GiB), {:,} actual rows".format(
+            lineorder.nominal_rows,
+            lineorder.nominal_bytes / 2**30,
+            lineorder.actual_rows,
+        )
+    )
+
+    # 2. Parse, bind, and plan a query.
+    sql = ssb.QUERIES["Q3.3"]
+    print("\nQuery Q3.3:\n  {}".format(sql))
+    spec = bind(sql, database, name="Q3.3")
+    planner = Planner(database)
+    print("\nLogical plan:")
+    print(planner.logical_plan(spec).explain())
+
+    # 3. Execute functionally (no simulation) and show the result.
+    plan = planner.plan(spec)
+    result = execute_functional(plan, database)
+    print("\nResult ({} rows):".format(result.actual_rows))
+    for row in result.payload.row_tuples()[:5]:
+        print("  ", row)
+
+    # 4. Run the same query as a workload under every strategy on the
+    #    simulated CPU+GPU platform and compare.
+    print("\nSimulated execution (GTX-770-class device, hot cache):")
+    print("  {:24s} {:>10s} {:>10s} {:>7s}".format(
+        "strategy", "seconds", "PCIe s", "aborts"))
+    queries = sql_workload(database, {"Q3.3": sql})
+    for strategy in STRATEGY_NAMES:
+        run = run_workload(database, queries, strategy, repetitions=3)
+        print("  {:24s} {:>10.4f} {:>10.4f} {:>7d}".format(
+            strategy,
+            run.seconds,
+            run.metrics.transfer_seconds,
+            run.metrics.aborts,
+        ))
+
+    print(
+        "\nTip: repro.harness.experiments has a figureNN() driver for "
+        "every figure of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

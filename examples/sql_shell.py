@@ -1,0 +1,93 @@
+"""An interactive SQL shell over the simulated heterogeneous engine.
+
+Type SQL against an SSB or TPC-H database; every statement is parsed,
+planned, executed functionally for the result rows, and simulated under
+a chosen placement strategy for the timing report.
+
+Run with:  python examples/sql_shell.py [ssb|tpch] [strategy]
+Example session:
+    sql> select d_year, sum(lo_revenue) as rev from lineorder, date
+         where lo_orderdate = d_datekey group by d_year order by d_year
+    sql> \\strategy gpu_only
+    sql> \\tables
+    sql> \\quit
+"""
+
+import sys
+
+from repro import STRATEGY_NAMES, run_workload, sql_workload, ssb, tpch
+
+
+def print_result(payload, limit=20):
+    names = payload.column_names
+    rows = payload.row_tuples()
+    widths = [
+        max(len(str(name)), *(len(str(r[i])) for r in rows[:limit]))
+        if rows else len(str(name))
+        for i, name in enumerate(names)
+    ]
+    print("  " + "  ".join(str(n).ljust(w) for n, w in zip(names, widths)))
+    print("  " + "  ".join("-" * w for w in widths))
+    for row in rows[:limit]:
+        print("  " + "  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    if len(rows) > limit:
+        print("  ... ({} rows total)".format(len(rows)))
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "ssb"
+    strategy = sys.argv[2] if len(sys.argv) > 2 else "data_driven_chopping"
+    module = {"ssb": ssb, "tpch": tpch}[benchmark]
+    print("Loading {} database (SF 10, reduced actual data)...".format(
+        benchmark))
+    database = module.generate(scale_factor=10, data_scale=1e-4)
+    print("Tables: {}".format(
+        ", ".join(t.name for t in database.tables)))
+    print("Strategy: {} (\\strategy NAME to change)".format(strategy))
+
+    while True:
+        try:
+            line = input("sql> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        if not line:
+            continue
+        if line.startswith("\\"):
+            command, _, argument = line[1:].partition(" ")
+            if command in ("quit", "q", "exit"):
+                break
+            if command == "tables":
+                for table in database.tables:
+                    print("  {}: {}".format(
+                        table.name, ", ".join(table.column_names)))
+                continue
+            if command == "strategy":
+                if argument in STRATEGY_NAMES:
+                    strategy = argument
+                    print("  strategy = {}".format(strategy))
+                else:
+                    print("  choose from: {}".format(
+                        ", ".join(STRATEGY_NAMES)))
+                continue
+            print("  unknown command; try \\tables \\strategy \\quit")
+            continue
+        try:
+            queries = sql_workload(database, {"adhoc": line})
+            run = run_workload(database, queries, strategy,
+                               collect_results=True)
+        except Exception as error:  # surface engine errors to the user
+            print("  error: {}".format(error))
+            continue
+        print_result(run.results["adhoc"])
+        metrics = run.metrics
+        print(
+            "  [{}; simulated {:.4f}s; PCIe {:.4f}s; aborts {}]".format(
+                strategy, run.seconds, metrics.transfer_seconds,
+                metrics.aborts,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` can use the legacy editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — reproduction of "Robust Query Processing in Co-Processor-
+accelerated Databases" (Bress, Funke, Teubner; SIGMOD 2016).
+
+A column-store query engine with a simulated GPU co-processor, the
+paper's placement strategies (Data-Driven, Critical Path, run-time
+HyPE placement), the query-chopping executor, and the full SSBM /
+TPC-H / micro-benchmark workloads.
+
+Quick start::
+
+    from repro import ssb, run_workload
+    db = ssb.generate(scale_factor=10)
+    result = run_workload(db, ssb.workload(db), "data_driven_chopping")
+    print(result.seconds, result.metrics.summary())
+
+See ``examples/`` for runnable scenarios and ``repro.harness.experiments``
+for the drivers regenerating every figure of the paper.
+"""
+
+from repro.core import (
+    ChoppingExecutor,
+    DataPlacementManager,
+    PlacementStrategy,
+    STRATEGY_NAMES,
+    get_strategy,
+)
+from repro.engine import Planner, execute_reference
+from repro.engine.execution import (
+    ExecutionContext,
+    execute_functional,
+    run_plan_eager,
+)
+from repro.hardware import (
+    COGADB_PROFILE,
+    OCELOT_PROFILE,
+    HardwareSystem,
+    SystemConfig,
+)
+from repro.harness import ExperimentResult, WorkloadResult, run_workload
+from repro.metrics import MetricsCollector
+from repro.sim import Environment
+from repro.sql import QuerySpec, bind, parse
+from repro.storage import Column, ColumnType, Database, Table
+from repro.workloads import WorkloadQuery, micro, sql_workload, ssb, tpch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COGADB_PROFILE",
+    "ChoppingExecutor",
+    "Column",
+    "ColumnType",
+    "DataPlacementManager",
+    "Database",
+    "Environment",
+    "ExecutionContext",
+    "ExperimentResult",
+    "HardwareSystem",
+    "MetricsCollector",
+    "OCELOT_PROFILE",
+    "PlacementStrategy",
+    "Planner",
+    "QuerySpec",
+    "STRATEGY_NAMES",
+    "SystemConfig",
+    "Table",
+    "WorkloadQuery",
+    "WorkloadResult",
+    "bind",
+    "execute_functional",
+    "execute_reference",
+    "get_strategy",
+    "micro",
+    "parse",
+    "run_plan_eager",
+    "run_workload",
+    "sql_workload",
+    "ssb",
+    "tpch",
+]

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figures [figNN ...] [--fast]``
+    Regenerate (all or selected) figures of the paper and print the
+    series each one plots.
+``run --benchmark ssb --strategy data_driven_chopping ...``
+    Run a full benchmark workload under one placement strategy and
+    print the measurement summary.
+``query "<sql>" --benchmark ssb ...``
+    Execute ad-hoc SQL against a generated benchmark database.
+``strategies``
+    List the available placement strategies.
+``compress --benchmark ssb``
+    Show the per-column compression report for a generated database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core import STRATEGY_NAMES
+from repro.harness import experiments as E
+from repro.harness.runner import run_workload
+from repro.hardware import SystemConfig
+from repro.hardware.calibration import GIB
+from repro.workloads import sql_workload, ssb, tpch
+
+#: figure id -> (driver, default kwargs, --fast kwargs)
+FIGURE_DRIVERS = {
+    "fig01": (E.figure01, {"scale_factor": 20, "repetitions": 5},
+              {"scale_factor": 20, "repetitions": 1}),
+    "fig02": (E.figure02, {"repetitions": 10}, {"repetitions": 2}),
+    "fig03": (E.figure03, {"total_queries": 100},
+              {"total_queries": 30, "users": (1, 7, 20)}),
+    "fig05": (E.figure05, {"repetitions": 10}, {"repetitions": 2}),
+    "fig06": (E.figure06, {"repetitions": 10}, {"repetitions": 2}),
+    "fig07": (E.figure07, {"total_queries": 100},
+              {"total_queries": 30, "users": (1, 7, 20)}),
+    "fig09": (E.figure09, {"total_queries": 100},
+              {"total_queries": 30, "users": (1, 7, 20)}),
+    "fig12": (E.figure12, {"total_queries": 100},
+              {"total_queries": 30, "users": (1, 7, 20)}),
+    "fig13": (E.figure13, {"total_queries": 100},
+              {"total_queries": 30, "users": (1, 7, 20)}),
+    "fig14a": (E.figure14, {"benchmark": "ssb", "repetitions": 2},
+               {"benchmark": "ssb", "repetitions": 1,
+                "scale_factors": (5, 15, 30)}),
+    "fig14b": (E.figure14, {"benchmark": "tpch", "repetitions": 2},
+               {"benchmark": "tpch", "repetitions": 1,
+                "scale_factors": (5, 15, 30)}),
+    "fig15a": (E.figure15, {"benchmark": "ssb", "repetitions": 2},
+               {"benchmark": "ssb", "repetitions": 1,
+                "scale_factors": (5, 15, 30)}),
+    "fig15b": (E.figure15, {"benchmark": "tpch", "repetitions": 2},
+               {"benchmark": "tpch", "repetitions": 1,
+                "scale_factors": (5, 15, 30)}),
+    "fig16": (E.figure16, {}, {}),
+    "fig17": (E.figure17, {"repetitions": 3}, {"repetitions": 1}),
+    "fig18a": (E.figure18, {"benchmark": "ssb", "repetitions": 3},
+               {"benchmark": "ssb", "repetitions": 1, "users": (1, 20)}),
+    "fig18b": (E.figure18, {"benchmark": "tpch", "repetitions": 3},
+               {"benchmark": "tpch", "repetitions": 1, "users": (1, 20)}),
+    "fig19": (E.figure19, {"benchmark": "ssb", "repetitions": 3},
+              {"benchmark": "ssb", "repetitions": 1, "users": (1, 20)}),
+    "fig20": (E.figure20, {"repetitions": 3},
+              {"repetitions": 1, "users": (1, 20)}),
+    "fig21": (E.figure21, {"repetitions": 2}, {"repetitions": 1}),
+    "fig22": (E.figure22, {"repetitions": 3}, {"repetitions": 1}),
+    "fig23": (E.figure23, {"repetitions": 3}, {"repetitions": 1}),
+    "fig24": (E.figure24, {"repetitions": 2},
+              {"repetitions": 1, "fractions": (0.0, 0.6, 1.0)}),
+    "fig25": (E.figure25, {"repetitions": 2},
+              {"repetitions": 1, "users": (1, 20)}),
+    "multigpu": (E.multi_gpu_scaling, {"repetitions": 2},
+                 {"repetitions": 1, "gpu_counts": (1, 4)}),
+}
+
+
+def _database(benchmark: str, scale_factor: float, data_scale: float):
+    module = {"ssb": ssb, "tpch": tpch}[benchmark]
+    return module.generate(scale_factor, data_scale=data_scale)
+
+
+def cmd_figures(args) -> int:
+    figures = args.figures or list(FIGURE_DRIVERS)
+    for figure_id in figures:
+        if figure_id not in FIGURE_DRIVERS:
+            print("unknown figure {!r}; choose from: {}".format(
+                figure_id, ", ".join(FIGURE_DRIVERS)))
+            return 1
+    start = time.time()
+    for figure_id in figures:
+        driver, default_kwargs, fast_kwargs = FIGURE_DRIVERS[figure_id]
+        kwargs = fast_kwargs if args.fast else default_kwargs
+        print("=" * 72)
+        driver(**kwargs).print()
+    print("done in {:.1f}s".format(time.time() - start))
+    return 0
+
+
+def cmd_run(args) -> int:
+    database = _database(args.benchmark, args.scale_factor, args.data_scale)
+    module = {"ssb": ssb, "tpch": tpch}[args.benchmark]
+    queries = module.workload(database)
+    config = SystemConfig(
+        gpu_count=args.gpus,
+        gpu_memory_bytes=int(args.gpu_memory_gib * GIB),
+        gpu_cache_bytes=int(args.gpu_cache_gib * GIB),
+    )
+    run = run_workload(
+        database, queries, args.strategy, config=config,
+        users=args.users, repetitions=args.repetitions,
+        warm_cache=not args.cold, trace=args.trace,
+    )
+    print("workload: {} SF {} x{} repetitions, {} users, strategy {}".format(
+        args.benchmark, args.scale_factor, args.repetitions, args.users,
+        args.strategy))
+    for key, value in run.metrics.summary().items():
+        print("  {:22s} {:.6g}".format(key, value))
+    print("  per-query mean latencies:")
+    for name, latency in run.metrics.latencies_by_query().items():
+        print("    {:8s} {:.4f}s".format(name, latency))
+    if run.trace is not None:
+        print()
+        print(run.trace.timeline_text())
+        print(run.trace.summary())
+    return 0
+
+
+def cmd_query(args) -> int:
+    database = _database(args.benchmark, args.scale_factor, args.data_scale)
+    queries = sql_workload(database, {"adhoc": args.sql})
+    run = run_workload(database, queries, args.strategy,
+                       collect_results=True)
+    payload = run.results["adhoc"]
+    for row in payload.row_tuples()[: args.limit]:
+        print(row)
+    print("[{} rows; {:.4f}s simulated; PCIe {:.4f}s; {} aborts]".format(
+        len(payload), run.seconds, run.metrics.transfer_seconds,
+        run.metrics.aborts))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.harness.report import generate_report
+
+    print(generate_report(fast=not args.full))
+    return 0
+
+
+def cmd_strategies(_args) -> int:
+    for name in STRATEGY_NAMES:
+        print(name)
+    return 0
+
+
+def cmd_compress(args) -> int:
+    from repro.storage.compression import (
+        compress_database,
+        compression_summary,
+    )
+
+    database = _database(args.benchmark, args.scale_factor, args.data_scale)
+    before = database.nominal_bytes
+    report = compress_database(database)
+    after = database.nominal_bytes
+    print(compression_summary(report))
+    print("total: {:.2f} GiB -> {:.2f} GiB ({:.2f}x)".format(
+        before / GIB, after / GIB, before / max(after, 1)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Robust Query Processing in "
+                    "Co-Processor-accelerated Databases' (SIGMOD 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("figures", nargs="*",
+                         help="figure ids (default: all)")
+    figures.add_argument("--fast", action="store_true",
+                         help="reduced sweep sizes")
+    figures.set_defaults(func=cmd_figures)
+
+    def add_common(p):
+        p.add_argument("--benchmark", choices=("ssb", "tpch"),
+                       default="ssb")
+        p.add_argument("--scale-factor", type=float, default=10)
+        p.add_argument("--data-scale", type=float, default=1e-4)
+        p.add_argument("--strategy", choices=STRATEGY_NAMES,
+                       default="data_driven_chopping")
+
+    runner = sub.add_parser("run", help="run a benchmark workload")
+    add_common(runner)
+    runner.add_argument("--users", type=int, default=1)
+    runner.add_argument("--repetitions", type=int, default=2)
+    runner.add_argument("--gpus", type=int, default=1)
+    runner.add_argument("--gpu-memory-gib", type=float, default=4.0)
+    runner.add_argument("--gpu-cache-gib", type=float, default=1.5)
+    runner.add_argument("--cold", action="store_true",
+                        help="start with a cold device cache")
+    runner.add_argument("--trace", action="store_true",
+                        help="print the operator timeline")
+    runner.set_defaults(func=cmd_run)
+
+    query = sub.add_parser("query", help="run ad-hoc SQL")
+    query.add_argument("sql")
+    add_common(query)
+    query.add_argument("--limit", type=int, default=20)
+    query.set_defaults(func=cmd_query)
+
+    strategies = sub.add_parser("strategies",
+                                help="list placement strategies")
+    strategies.set_defaults(func=cmd_strategies)
+
+    compress = sub.add_parser("compress",
+                              help="show the compression report")
+    add_common(compress)
+    compress.set_defaults(func=cmd_compress)
+
+    report = sub.add_parser(
+        "report", help="regenerate the paper-vs-measured claim table"
+    )
+    report.add_argument("--full", action="store_true",
+                        help="larger sweeps (slower, tighter numbers)")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The paper's contribution: robust placement and execution strategies.
+
+* :mod:`repro.core.placement` — the strategy zoo: CPU-Only,
+  GPU-Preferred, Critical Path (Appendix D), Data-Driven (Sec. 3),
+  run-time HyPE placement (Sec. 4), and the data-driven run-time rule.
+* :mod:`repro.core.data_placement` — the data-placement manager:
+  access-statistics-driven cache content (Algorithm 1) with LFU/LRU.
+* :mod:`repro.core.chopping` — query chopping (Sec. 5): the global
+  operator stream, per-processor ready queues, and worker pools.
+"""
+
+from repro.core.data_placement import DataPlacementManager
+from repro.core.chopping import ChoppingExecutor
+from repro.core.placement import (
+    STRATEGY_NAMES,
+    PlacementStrategy,
+    get_strategy,
+)
+
+__all__ = [
+    "ChoppingExecutor",
+    "DataPlacementManager",
+    "PlacementStrategy",
+    "STRATEGY_NAMES",
+    "get_strategy",
+]

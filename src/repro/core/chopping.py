@@ -1,0 +1,144 @@
+"""Query chopping (Sec. 5).
+
+Chopping is a progressive query optimizer: it chops the leaf operators
+off submitted queries and inserts them into a global operator stream.
+Each operator is placed on a processor *when it becomes ready* (all
+children finished), then waits in that processor's ready queue until a
+worker thread pulls it.  Finished operators notify their parents; a
+parent whose children have all completed inserts itself into the
+stream (Fig. 10/11).
+
+The worker pools bound operator-level concurrency per processor —
+operators allocate device memory only once a worker runs them, which is
+what prevents heap contention (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.core.placement.base import estimate_runtime
+from repro.engine.execution.context import ExecutionContext
+from repro.engine.execution.operator_task import execute_operator
+from repro.engine.operators import PhysicalOperator, PhysicalPlan
+from repro.sim import Event, PriorityStore, Store
+
+
+class _Task:
+    """One operator instance traveling through the operator stream."""
+
+    __slots__ = (
+        "op",
+        "parent",
+        "child_index",
+        "pending",
+        "child_results",
+        "root_event",
+        "assigned",
+        "estimate",
+    )
+
+    def __init__(self, op: PhysicalOperator):
+        self.op = op
+        self.parent: Optional[_Task] = None
+        self.child_index = 0
+        self.pending = len(op.children)
+        self.child_results: List = [None] * len(op.children)
+        self.root_event: Optional[Event] = None
+        self.assigned = "cpu"
+        self.estimate = 0.0
+
+
+class ChoppingExecutor:
+    """Thread-pool execution engine with run-time placement."""
+
+    def __init__(self, ctx: ExecutionContext, strategy,
+                 cpu_workers: int = 4, gpu_workers: int = 2,
+                 scheduling: str = "fifo"):
+        if cpu_workers < 1 or gpu_workers < 1:
+            raise ValueError("worker pools need at least one thread")
+        if scheduling not in ("fifo", "sjf"):
+            raise ValueError("scheduling must be 'fifo' or 'sjf'")
+        self.ctx = ctx
+        self.strategy = strategy
+        self.cpu_workers = cpu_workers
+        self.gpu_workers = gpu_workers
+        #: ready-queue discipline: FIFO (the paper's thread pool) or
+        #: shortest-job-first by HyPE's runtime estimate
+        self.scheduling = scheduling
+        env = ctx.env
+        store_class = Store if scheduling == "fifo" else PriorityStore
+        #: per-processor ready queues fed by the global operator stream
+        #: (one queue and one worker pool per co-processor)
+        self.ready: Dict[str, Store] = {"cpu": store_class(env)}
+        for _ in range(cpu_workers):
+            env.process(self._worker("cpu"))
+        for name in ctx.hardware.gpu_names:
+            self.ready[name] = store_class(env)
+            for _ in range(gpu_workers):
+                env.process(self._worker(name))
+
+    # -- query submission -------------------------------------------------
+
+    def submit(self, plan: PhysicalPlan) -> Event:
+        """Chop ``plan`` into the operator stream.
+
+        Returns an event that fires with the root
+        :class:`~repro.engine.intermediates.OperatorResult` once the
+        query completes.
+        """
+        root_event = self.ctx.env.event()
+        tasks: Dict[int, _Task] = {}
+        for op in plan.operators:  # post order
+            task = _Task(op)
+            tasks[op.op_id] = task
+            for index, child in enumerate(op.children):
+                child_task = tasks[child.op_id]
+                child_task.parent = task
+                child_task.child_index = index
+        tasks[plan.root.op_id].root_event = root_event
+        # Leaves have no dependencies: they enter the stream immediately.
+        for op in plan.operators:
+            if not op.children:
+                self._dispatch(tasks[op.op_id])
+        return root_event
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _dispatch(self, task: _Task) -> None:
+        """Place a ready operator and enqueue it (HyPE's tactical step)."""
+        name = self.strategy.choose_processor(
+            self.ctx, task.op, task.child_results
+        )
+        task.assigned = name
+        task.estimate = estimate_runtime(
+            self.ctx, task.op, task.child_results, name
+        )
+        self.ctx.load.assign(name, task.estimate)
+        self.ready[name].put(task, priority=task.estimate)
+
+    def _worker(self, name: str) -> Generator:
+        """One worker thread: pull, execute, notify the parent."""
+        ctx = self.ctx
+        while True:
+            task = yield self.ready[name].get()
+            result = yield from execute_operator(
+                ctx,
+                task.op,
+                task.child_results,
+                name,
+                admit_to_cache=self.strategy.admit_to_cache,
+            )
+            ctx.load.finish(name, task.estimate)
+            parent = task.parent
+            if parent is None:
+                if result.location != "cpu":
+                    yield from ctx.bus.transfer(result.nominal_bytes, "d2h")
+                    result.release_device_memory()
+                    result.location = "cpu"
+                task.root_event.succeed(result)
+                continue
+            parent.child_results[task.child_index] = result
+            parent.pending -= 1
+            if parent.pending == 0:
+                self._dispatch(parent)

@@ -1,0 +1,151 @@
+"""The data-placement manager (Sec. 3.2, Algorithm 1).
+
+A central component decides the co-processor cache content from the
+workload's access pattern: the columns with the highest access counts
+are placed in the cache, most frequent first, until the buffer is full.
+Cached columns are *pinned* — operator execution never inserts or
+evicts under data-driven placement, which is exactly why cache
+thrashing cannot occur.
+
+Both the LFU strategy (default) and the LRU variant of Appendix E are
+supported.  With several co-processors (Sec. 6.3) the manager
+partitions the hot set across the devices, most-frequent column to the
+emptiest device — the horizontal scale-out the paper sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.hardware import DeviceCache
+from repro.storage import Database
+
+
+class DataPlacementManager:
+    """Background job adjusting the co-processor cache content."""
+
+    def __init__(self, database: Database,
+                 cache: Optional[DeviceCache] = None,
+                 policy: str = "lfu",
+                 caches: Optional[Sequence[DeviceCache]] = None):
+        if policy not in ("lfu", "lru"):
+            raise ValueError("unknown placement policy {!r}".format(policy))
+        if (cache is None) == (caches is None):
+            raise ValueError("provide exactly one of cache / caches")
+        self.database = database
+        self.caches: List[DeviceCache] = (
+            list(caches) if caches is not None else [cache]
+        )
+        self.policy = policy
+
+    @property
+    def cache(self) -> DeviceCache:
+        """The first device's cache (single-GPU call sites)."""
+        return self.caches[0]
+
+    # -- Algorithm 1 ----------------------------------------------------
+
+    def _ranked_columns(self) -> List[str]:
+        statistics = self.database.statistics
+        if self.policy == "lfu":
+            return statistics.by_frequency()
+        return statistics.by_recency()
+
+    #: columns at most this fraction of a device cache are replicated
+    #: on every device (dimension tables / access structures), so joins
+    #: and aggregations stay co-located with their fact columns
+    REPLICATION_FRACTION = 0.05
+
+    def partition(self) -> List[List[str]]:
+        """Algorithm 1, generalised to several devices.
+
+        Small columns (dimension tables) are *replicated* on every
+        device; large (fact) columns fill the devices sequentially in
+        rank order, so the hottest set clusters exactly like the
+        single-device prefix and extra devices extend it.  With a
+        single device this degenerates to the paper's greedy prefix.
+        """
+        remaining = [cache.capacity for cache in self.caches]
+        assignment: List[List[str]] = [[] for _ in self.caches]
+        replication_limit = (
+            min(cache.capacity for cache in self.caches)
+            * self.REPLICATION_FRACTION
+        )
+        replicate_everywhere = len(self.caches) > 1
+        for key in self._ranked_columns():
+            try:
+                column = self.database.column(key)
+            except KeyError:
+                continue  # stale statistics after schema changes
+            nbytes = column.nominal_bytes
+            if replicate_everywhere and nbytes <= replication_limit:
+                for index in range(len(self.caches)):
+                    if nbytes <= remaining[index]:
+                        assignment[index].append(key)
+                        remaining[index] -= nbytes
+                continue
+            # first fit: the hottest columns cluster on the first
+            # device exactly like the single-device prefix
+            for index in range(len(self.caches)):
+                if nbytes <= remaining[index]:
+                    assignment[index].append(key)
+                    remaining[index] -= nbytes
+                    break
+        return assignment
+
+    def target_columns(self) -> List[str]:
+        """The column set Algorithm 1 would cache right now (all
+        devices combined)."""
+        return [key for device_keys in self.partition()
+                for key in device_keys]
+
+    def apply_placement(self) -> List[str]:
+        """Instant cache update (no simulated transfer cost).
+
+        Used to pre-load access structures before a benchmark starts,
+        as the paper does (Sec. 6.1).  Returns all cached column keys.
+        """
+        for cache, keys in zip(self.caches, self.partition()):
+            self._update_cache(cache, set(keys))
+        return sorted(
+            key for cache in self.caches for key in cache.keys
+        )
+
+    def _update_cache(self, cache: DeviceCache, new_set) -> None:
+        old_set = set(cache.keys)
+        for key in old_set - new_set:
+            entry = cache.entry(key)
+            if entry.refcount > 0:
+                # In use by a running operator: deferred cleanup, the
+                # next placement run will retry (Sec. 3.2).
+                continue
+            cache.evict(key)
+        for key in sorted(new_set - old_set):
+            column = self.database.column(key)
+            cache.admit(key, column.nominal_bytes, pinned=True)
+        for key in new_set & old_set:
+            cache.pin(key)
+
+    def place(self, bus) -> Generator:
+        """DES process: run Algorithm 1, charging PCIe time for newly
+        cached columns (the online background job)."""
+        for cache, keys in zip(self.caches, self.partition()):
+            new_set = set(keys)
+            old_set = set(cache.keys)
+            for key in old_set - new_set:
+                entry = cache.entry(key)
+                if entry.refcount > 0:
+                    continue
+                cache.evict(key)
+            for key in sorted(new_set - old_set):
+                column = self.database.column(key)
+                if cache.admit(key, column.nominal_bytes, pinned=True):
+                    yield from bus.transfer(column.nominal_bytes, "h2d")
+            for key in new_set & old_set:
+                cache.pin(key)
+
+    def background_job(self, bus, interval_seconds: float) -> Generator:
+        """DES process: periodically re-run placement."""
+        while True:
+            yield bus.env.timeout(interval_seconds)
+            yield from self.place(bus)

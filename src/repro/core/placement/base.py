@@ -1,0 +1,70 @@
+"""Placement strategy interface."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.execution.context import ExecutionContext
+from repro.engine.intermediates import OperatorResult
+from repro.engine.operators import PhysicalOperator, PhysicalPlan
+from repro.hardware.processor import ProcessorKind
+
+PROCESSOR_KINDS = {"cpu": ProcessorKind.CPU, "gpu": ProcessorKind.GPU}
+
+
+def processor_kind(name: str) -> ProcessorKind:
+    """Kind of a processor by name ('cpu' or any 'gpuN')."""
+    return ProcessorKind.CPU if name == "cpu" else ProcessorKind.GPU
+
+
+class PlacementStrategy:
+    """How operators are assigned to processors.
+
+    Compile-time strategies implement :meth:`prepare_plan` and leave
+    :meth:`choose_processor` reading the fixed assignment; run-time
+    strategies decide in :meth:`choose_processor`, seeing actual input
+    sizes and result locations.
+    """
+
+    #: "eager" (unbounded inter-operator parallelism) or "chopping"
+    executor = "eager"
+    #: whether GPU staging inserts missed columns into the cache
+    #: (operator-driven data placement); data-driven strategies disable
+    #: this — the placement manager alone controls cache content
+    admit_to_cache = True
+    #: whether the harness should run the data-placement manager and
+    #: pin the hot set before the workload
+    uses_data_placement = False
+    #: maximum queries admitted concurrently (None = unbounded)
+    admission_limit: Optional[int] = None
+
+    def __init__(self, name: Optional[str] = None, executor: Optional[str] = None):
+        if name is not None:
+            self.name = name
+        elif not hasattr(type(self), "name"):
+            self.name = type(self).__name__.lower()
+        if executor is not None:
+            self.executor = executor
+
+    def prepare_plan(self, ctx: ExecutionContext, plan: PhysicalPlan) -> None:
+        """Fix compile-time placements (no-op for run-time strategies)."""
+
+    def choose_processor(self, ctx: ExecutionContext, op: PhysicalOperator,
+                         child_results: List[OperatorResult]) -> str:
+        """Processor for ``op``, consulted when its inputs are ready."""
+        if op.cpu_only:
+            return "cpu"
+        return op.placement or "cpu"
+
+    def __repr__(self) -> str:
+        return "<strategy {}>".format(getattr(self, "name", "?"))
+
+
+def estimate_runtime(ctx: ExecutionContext, op: PhysicalOperator,
+                     child_results: List[OperatorResult],
+                     processor_name: str) -> float:
+    """HyPE runtime estimate for load tracking and placement costing."""
+    input_bytes = op.input_nominal_bytes(ctx.database, child_results)
+    return ctx.cost_model.estimate(
+        op.kind, processor_kind(processor_name), input_bytes
+    )

@@ -1,0 +1,36 @@
+"""Trivial compile-time strategies: CPU-Only, GPU-Preferred, admission
+control."""
+
+from __future__ import annotations
+
+from repro.core.placement.base import PlacementStrategy
+
+
+class CpuOnly(PlacementStrategy):
+    """Everything on the host — the robustness baseline."""
+
+    name = "cpu_only"
+
+    def prepare_plan(self, ctx, plan) -> None:
+        plan.assign_all("cpu")
+
+
+class GpuPreferred(PlacementStrategy):
+    """The paper's *GPU Preferred* reference heuristic (Sec. 6.2):
+    every operator on the GPU, switching back to the CPU only when an
+    operator runs out of memory."""
+
+    name = "gpu_only"
+
+    def prepare_plan(self, ctx, plan) -> None:
+        for op in plan.operators:
+            op.placement = "cpu" if op.cpu_only else "gpu"
+
+
+class AdmissionControlGpu(GpuPreferred):
+    """GPU-preferred behind an admission control that lets one query
+    into the system at a time — the Wang et al. style reference point
+    of Sec. 6.2.2."""
+
+    name = "admission_control"
+    admission_limit = 1

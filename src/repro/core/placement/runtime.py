@@ -1,0 +1,74 @@
+"""Run-time operator placement via HyPE (Sec. 4).
+
+Placement happens when an operator's inputs are available, so the
+decision sees exact input cardinalities (no estimation error), actual
+result locations (dynamic reaction to aborts), the current device heap
+occupancy, and the load of every processor's ready queue.  With several
+co-processors (Sec. 6.3) every device is a candidate.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement.base import PlacementStrategy, processor_kind
+
+
+class RuntimeHype(PlacementStrategy):
+    """Cost-based run-time placement (used standalone and by
+    *Chopping*)."""
+
+    name = "runtime"
+
+    def choose_processor(self, ctx, op, child_results) -> str:
+        if op.cpu_only:
+            return "cpu"
+        footprint = op.device_footprint_bytes(
+            ctx.profile, ctx.database, child_results
+        )
+        input_bytes = op.input_nominal_bytes(ctx.database, child_results)
+        best_name = "cpu"
+        best_cost = self._estimated_cost(ctx, op, child_results, "cpu",
+                                         input_bytes, None)
+        for device in ctx.hardware.gpus:
+            # Run-time placement sees the *current* device state
+            # (Sec. 4): an operator whose footprint cannot fit right
+            # now would only abort — skip the device.
+            if footprint > device.heap.available:
+                continue
+            cost = self._estimated_cost(ctx, op, child_results, device.name,
+                                        input_bytes, device)
+            if cost < best_cost:
+                best_cost = cost
+                best_name = device.name
+        return best_name
+
+    def _estimated_cost(self, ctx, op, child_results, name, input_bytes,
+                        device):
+        """exec estimate + pending transfers + ready-queue load.
+
+        Transfers are scaled by the current PCIe queue length: under
+        contention every copy waits behind the transfers already in
+        flight, so chasing the faster processor across a congested bus
+        is a losing move.
+        """
+        execution = ctx.cost_model.estimate(
+            op.kind, processor_kind(name), input_bytes
+        )
+        transfer = 0.0
+        if device is not None:
+            for key in op.required_columns():
+                if key not in device.cache:
+                    column = ctx.database.column(key)
+                    transfer += ctx.bus.transfer_time(column.nominal_bytes)
+            for child in child_results:
+                if child.location != name:
+                    factor = 2.0 if child.location != "cpu" else 1.0
+                    transfer += factor * ctx.bus.transfer_time(
+                        child.nominal_bytes
+                    )
+        else:
+            for child in child_results:
+                if child.location != "cpu":
+                    transfer += ctx.bus.transfer_time(child.nominal_bytes)
+        transfer *= 1 + ctx.bus.queue_length
+        load = ctx.load.estimated_completion(name)
+        return execution + transfer + load

@@ -1,0 +1,62 @@
+"""The relational query engine.
+
+An interpreter-based, operator-at-a-time engine in the style of
+CoGaDB/MonetDB (Sec. 2.5): every physical operator consumes fully
+materialised input and materialises its output.  Execution happens
+inside the DES; functional results are computed with numpy while
+timing is charged from the calibration profile.
+"""
+
+from repro.engine.expressions import (
+    Aggregate,
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    Not,
+    Or,
+)
+from repro.engine.frame import Frame
+from repro.engine.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalHaving,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.engine.planner import Planner
+from repro.engine.reference import execute_reference
+
+__all__ = [
+    "Aggregate",
+    "And",
+    "Arithmetic",
+    "Between",
+    "ColumnRef",
+    "Comparison",
+    "Expression",
+    "Frame",
+    "InList",
+    "Literal",
+    "LogicalAggregate",
+    "LogicalDistinct",
+    "LogicalHaving",
+    "LogicalJoin",
+    "LogicalLimit",
+    "LogicalNode",
+    "LogicalProject",
+    "LogicalScan",
+    "LogicalSort",
+    "Not",
+    "Or",
+    "Planner",
+    "execute_reference",
+]

@@ -1,0 +1,41 @@
+"""Sample-based cardinality estimation.
+
+Shared by the strategic optimizer (join ordering) and the Critical Path
+placement heuristic (compile-time transfer/compute estimates).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.expressions import Expression
+from repro.engine.frame import Frame
+from repro.storage import Database
+
+
+def estimate_selectivity(
+    database: Database,
+    table: str,
+    predicate: Optional[Expression],
+    sample_rows: int = 2048,
+) -> float:
+    """Fraction of ``table`` rows matching ``predicate``.
+
+    Evaluates the predicate over an evenly spaced row sample — cheap at
+    the library's data scale and far more robust than magic constants.
+    """
+    if predicate is None:
+        return 1.0
+    tbl = database.table(table)
+    n = tbl.actual_rows
+    if n == 0:
+        return 1.0
+    if n <= sample_rows:
+        positions = np.arange(n)
+    else:
+        positions = np.linspace(0, n - 1, sample_rows).astype(np.int64)
+    frame = Frame(database, {table: positions})
+    mask = predicate.evaluate(frame)
+    return float(np.count_nonzero(mask)) / len(positions)

@@ -1,0 +1,23 @@
+"""Plan executors.
+
+* :func:`execute_functional` — run a plan immediately, outside the DES
+  (pure correctness path, used by tests and the reference comparison).
+* :class:`ExecutionContext` plus the simulated executors live in
+  :mod:`repro.engine.execution.context`, :mod:`...operator_task`, and
+  :mod:`...eager` (compile-time and run-time placement); the
+  query-chopping executor lives in :mod:`repro.core.chopping`.
+"""
+
+from repro.engine.execution.functional import execute_functional
+from repro.engine.execution.context import ExecutionContext
+from repro.engine.execution.operator_task import execute_operator
+from repro.engine.execution.eager import run_plan_eager
+from repro.engine.execution.vectorized import VectorizedExecutor
+
+__all__ = [
+    "ExecutionContext",
+    "VectorizedExecutor",
+    "execute_functional",
+    "execute_operator",
+    "run_plan_eager",
+]

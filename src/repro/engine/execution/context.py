@@ -1,0 +1,49 @@
+"""Execution context shared by all simulated executors."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware import HardwareSystem
+from repro.hype import LearnedCostModel, LoadTracker
+from repro.storage import Database
+
+
+class ExecutionContext:
+    """Everything an executor needs: devices, catalog, HyPE state."""
+
+    def __init__(
+        self,
+        hardware: HardwareSystem,
+        database: Database,
+        cost_model: Optional[LearnedCostModel] = None,
+    ):
+        self.hardware = hardware
+        self.database = database
+        self.env = hardware.env
+        self.metrics = hardware.metrics
+        self.profile = hardware.profile
+        self.cost_model = (
+            cost_model
+            if cost_model is not None
+            else LearnedCostModel(hardware.profile)
+        )
+        self.load = LoadTracker()
+        #: optional per-operator timeline (set to an ExecutionTrace to
+        #: record one; see repro.metrics.trace)
+        self.trace = None
+        #: HyPE algorithm selection (disable to always run the default
+        #: bulk algorithm; see benchmarks/bench_ablation_algorithms.py)
+        self.algorithm_selection = True
+
+    @property
+    def gpu_cache(self):
+        return self.hardware.gpu_cache
+
+    @property
+    def gpu_heap(self):
+        return self.hardware.gpu_heap
+
+    @property
+    def bus(self):
+        return self.hardware.bus

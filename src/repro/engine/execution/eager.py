@@ -1,0 +1,70 @@
+"""Eager plan execution (compile-time and run-time placement).
+
+Every operator becomes its own DES process immediately — CoGaDB's
+unbounded inter-operator parallelism.  The placement strategy is
+consulted when an operator's children have finished:
+
+* compile-time strategies return the placement fixed before execution,
+* run-time strategies decide now, seeing actual input sizes and
+  locations (Sec. 4).
+
+The root result is transferred back to the host if it finished on the
+GPU, and its device memory is released.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.engine.execution.context import ExecutionContext
+from repro.engine.execution.operator_task import execute_operator
+from repro.engine.intermediates import OperatorResult
+from repro.engine.operators import PhysicalPlan
+from repro.hardware.processor import ProcessorKind
+from repro.sim import Process
+
+
+def _estimate(ctx, op, child_results, processor_name) -> float:
+    """HyPE runtime estimate used for load tracking."""
+    kind = (ProcessorKind.CPU if processor_name == "cpu"
+            else ProcessorKind.GPU)
+    input_bytes = op.input_nominal_bytes(ctx.database, child_results)
+    return ctx.cost_model.estimate(op.kind, kind, input_bytes)
+
+
+def run_plan_eager(ctx: ExecutionContext, plan: PhysicalPlan,
+                   strategy) -> Process:
+    """Start ``plan``; returns a process yielding the root result."""
+    env = ctx.env
+    processes: Dict[int, Process] = {}
+
+    def operator_process(op, child_processes) -> Generator:
+        child_results = []
+        for child_process in child_processes:
+            child_result = yield child_process
+            child_results.append(child_result)
+        processor_name = strategy.choose_processor(ctx, op, child_results)
+        estimate = _estimate(ctx, op, child_results, processor_name)
+        ctx.load.assign(processor_name, estimate)
+        try:
+            result = yield from execute_operator(
+                ctx, op, child_results, processor_name,
+                admit_to_cache=strategy.admit_to_cache,
+            )
+        finally:
+            ctx.load.finish(processor_name, estimate)
+        return result
+
+    for op in plan.operators:  # post order: children already created
+        children = [processes[c.op_id] for c in op.children]
+        processes[op.op_id] = env.process(operator_process(op, children))
+
+    def root_process() -> Generator:
+        result = yield processes[plan.root.op_id]
+        if result.location != "cpu":
+            yield from ctx.bus.transfer(result.nominal_bytes, "d2h")
+            result.release_device_memory()
+            result.location = "cpu"
+        return result
+
+    return env.process(root_process())

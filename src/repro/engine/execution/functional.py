@@ -1,0 +1,26 @@
+"""Immediate (non-simulated) plan execution.
+
+Runs the functional numpy implementations bottom-up with no hardware
+model.  This is the correctness backbone: integration tests compare
+its output (and the simulated executors' output) against the naive
+reference evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.engine.intermediates import OperatorResult
+from repro.engine.operators import PhysicalOperator, PhysicalPlan
+from repro.storage import Database
+
+
+def execute_functional(plan: PhysicalPlan, database: Database) -> OperatorResult:
+    """Execute ``plan`` immediately; returns the root result."""
+    results: Dict[int, OperatorResult] = {}
+    for op in plan.operators:  # post order: children first
+        child_results = [results[c.op_id] for c in op.children]
+        results[op.op_id] = op.produce(database, child_results)
+        for key in op.required_columns():
+            database.statistics.record_access(key)
+    return results[plan.root.op_id]

@@ -1,0 +1,226 @@
+"""The operator lifecycle inside the simulation.
+
+This implements the paper's fault-tolerant operator execution
+(Sec. 2.5.1, 4.1):
+
+1. *Stage inputs.*  On the GPU, base columns must be device-resident:
+   cached columns are hits; misses are transferred over PCIe and — under
+   operator-driven data placement — admitted to the cache, evicting
+   victims (the cache-thrashing mechanism).  Child intermediates living
+   on the other processor are transferred too.
+2. *Allocate working memory.*  The operator's heap footprint
+   (e.g. 3.25x input for selections) is allocated up front; failures
+   raise immediately — CoGaDB aborts rather than waits to avoid
+   allocation deadlocks.
+3. *Compute.*  The kernel occupies a device slot for the calibrated
+   time, then the functional numpy implementation materialises the
+   result.
+4. *Keep the result resident.*  The result stays on the producing
+   processor until the (single) consumer has read it.
+5. *Abort and restart.*  Any device allocation failure aborts the
+   operator: wasted time (begin to abort) is recorded, device state is
+   rolled back, and the operator restarts on the CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.engine.execution.context import ExecutionContext
+from repro.engine.intermediates import OperatorResult
+from repro.engine.operators import PhysicalOperator
+from repro.hardware import DeviceOutOfMemory
+from repro.hardware.processor import ProcessorKind
+from repro.hype import choose_algorithm
+
+
+def execute_operator(
+    ctx: ExecutionContext,
+    op: PhysicalOperator,
+    child_results: List[OperatorResult],
+    processor_name: str,
+    admit_to_cache: bool = True,
+) -> Generator:
+    """DES process: run one operator, with GPU fault tolerance.
+
+    Returns the :class:`OperatorResult`; its ``location`` records where
+    the result resides.  Consumed child results release their device
+    memory here (single-consumer plans).
+    """
+    database = ctx.database
+    for key in sorted(op.required_columns()):
+        database.statistics.record_access(key, ctx.env.now)
+
+    input_bytes = op.input_nominal_bytes(database, child_results)
+    result: Optional[OperatorResult] = None
+    if processor_name != "cpu" and not op.cpu_only:
+        device = ctx.hardware.device(processor_name)
+        result = yield from _try_gpu(ctx, device, op, child_results,
+                                     input_bytes, admit_to_cache)
+    if result is None:
+        result = yield from _run_cpu(ctx, op, child_results, input_bytes)
+    for child in child_results:
+        child.release_device_memory()
+    return result
+
+
+def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache):
+    """Co-processor attempt; returns None when the operator aborts.
+
+    Device memory is allocated in several steps and held (the paper's
+    operators cannot pre-compute a concise upper bound, Sec. 2.5.1):
+    staged inputs first, then half the working memory, the second half
+    mid-kernel, and finally the result buffer.  A failure at any later
+    step wastes everything done so far — that is the *wasted time* the
+    paper measures.
+    """
+    env = ctx.env
+    cache = device.cache
+    heap = device.heap
+    gpu = device.processor
+    streaming = ctx.hardware.config.streaming_transfers
+    start = env.now
+    staged = []
+    acquired = []
+    working = []
+    #: with streaming transfers (Sec. 5.5) copies run as background
+    #: processes overlapping the kernel; the operator completes once
+    #: both its compute and its transfers have finished
+    inflight = []
+
+    def move(nbytes, direction):
+        if streaming:
+            inflight.append(
+                env.process(ctx.bus.transfer(nbytes, direction))
+            )
+        else:
+            yield from ctx.bus.transfer(nbytes, direction)
+
+    try:
+        # 1. Stage base columns.
+        for key in sorted(op.required_columns()):
+            column = ctx.database.column(key)
+            if key in cache:
+                cache.touch(key)
+                cache.acquire(key)
+                acquired.append(key)
+                continue
+            cache.record_miss()
+            yield from move(column.nominal_bytes, "h2d")
+            if admit_to_cache and cache.admit(key, column.nominal_bytes):
+                cache.acquire(key)
+                acquired.append(key)
+            else:
+                # No cache space: the column lives in the operator's
+                # heap staging area for the duration of the operator.
+                staged.append(heap.allocate(column.nominal_bytes, owner=op.label))
+        # 2. Stage child intermediates living elsewhere; a result on a
+        #    *different* co-processor crosses the bus twice (device to
+        #    host, then host to this device).
+        for child in child_results:
+            if child.location != device.name:
+                if child.location != "cpu":
+                    yield from move(child.nominal_bytes, "d2h")
+                staged.append(heap.allocate(child.nominal_bytes, owner=op.label))
+                yield from move(child.nominal_bytes, "h2d")
+        # 3. First half of the working memory, held while queueing.
+        footprint = op.device_footprint_bytes(
+            ctx.profile, ctx.database, child_results
+        )
+        staged_bytes = sum(a.nbytes for a in staged)
+        working_target = max(footprint - staged_bytes, 0)
+        first_half = working_target // 2
+        working.append(heap.allocate(first_half, owner=op.label))
+        # 4. Compute; the second allocation step happens mid-kernel and
+        #    can fail after real work was done.  HyPE also selects the
+        #    physical algorithm for the exact input size (Sec. 5.2).
+        if ctx.algorithm_selection:
+            algorithm_key, _ = choose_algorithm(
+                ctx.cost_model, ctx.profile, op.kind, ProcessorKind.GPU,
+                input_bytes,
+            )
+        else:
+            algorithm_key = op.kind
+        seconds = ctx.profile.compute_seconds(
+            algorithm_key, ProcessorKind.GPU, input_bytes
+        )
+        yield gpu.submit(seconds / 2)
+        working.append(
+            heap.allocate(working_target - first_half, owner=op.label)
+        )
+        yield gpu.submit(seconds / 2)
+        # Streaming mode: the kernel consumed blocks as they arrived;
+        # the operator is done once the tail of the transfers landed.
+        for transfer_process in inflight:
+            yield transfer_process
+        ctx.metrics.record_operator(gpu.name, seconds)
+        result = op.produce(ctx.database, child_results)
+        # 5. The result stays on the device heap until the consumer has
+        #    read it.  When it fits, it lives inside the (shrunk)
+        #    working area; a result that outgrew the working memory
+        #    needs a fresh buffer, which can fail after the compute —
+        #    the expensive late abort.
+        if working and result.nominal_bytes <= working[0].nbytes:
+            for extra in working[1:]:
+                extra.free()
+            working[0].shrink(result.nominal_bytes)
+            result.allocation = working[0]
+            working = []
+        else:
+            result.allocation = heap.allocate(result.nominal_bytes,
+                                              owner=op.label)
+        result.location = device.name
+        ctx.cost_model.observe(op.kind, ProcessorKind.GPU, input_bytes, seconds)
+        if algorithm_key != op.kind:
+            ctx.cost_model.observe(algorithm_key, ProcessorKind.GPU,
+                                   input_bytes, seconds)
+        ctx.metrics.record_algorithm(algorithm_key)
+        if ctx.trace is not None:
+            ctx.trace.record(op.label, op.kind, device.name, op.plan_name,
+                             start, env.now)
+        return result
+    except DeviceOutOfMemory:
+        ctx.metrics.record_abort(env.now - start)
+        if ctx.trace is not None:
+            ctx.trace.record(op.label, op.kind, device.name, op.plan_name,
+                             start, env.now, aborted=True)
+        return None
+    finally:
+        for key in acquired:
+            cache.release(key)
+        for allocation in staged:
+            allocation.free()
+        for allocation in working:
+            allocation.free()
+
+
+def _run_cpu(ctx, op, child_results, input_bytes):
+    """CPU execution (native placement or fallback after an abort)."""
+    start = ctx.env.now
+    for child in child_results:
+        if child.location != "cpu":
+            # The paper's fallback cost: results must come back over
+            # the bus before the CPU can continue (Sec. 2.5.1).
+            yield from ctx.bus.transfer(child.nominal_bytes, "d2h")
+    if ctx.algorithm_selection:
+        algorithm_key, _ = choose_algorithm(
+            ctx.cost_model, ctx.profile, op.kind, ProcessorKind.CPU,
+            input_bytes,
+        )
+    else:
+        algorithm_key = op.kind
+    seconds = ctx.profile.compute_seconds(
+        algorithm_key, ProcessorKind.CPU, input_bytes
+    )
+    yield from ctx.hardware.cpu.execute(seconds)
+    result = op.produce(ctx.database, child_results)
+    result.location = "cpu"
+    ctx.cost_model.observe(op.kind, ProcessorKind.CPU, input_bytes, seconds)
+    if algorithm_key != op.kind:
+        ctx.cost_model.observe(algorithm_key, ProcessorKind.CPU,
+                               input_bytes, seconds)
+    ctx.metrics.record_algorithm(algorithm_key)
+    if ctx.trace is not None:
+        ctx.trace.record(op.label, op.kind, "cpu", op.plan_name,
+                         start, ctx.env.now)
+    return result

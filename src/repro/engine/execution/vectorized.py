@@ -1,0 +1,319 @@
+"""Vector-at-a-time execution (the alternative processing model of
+Sec. 5.5).
+
+The operator-at-a-time engine materialises every intermediate.  A
+vectorized engine instead streams cache-resident chunks (vectors)
+through *pipelines* — maximal operator chains without a pipeline
+breaker — and only materialises at the breakers (hash-table builds,
+aggregation, sorting, result delivery).
+
+Consequences modelled here, following the paper's discussion:
+
+* **No column staging**: vectors stream over the bus, overlapping
+  compute; an uncached input costs ``max(transfer, compute)`` instead
+  of their sum, and never occupies the device heap.
+* **Heap demand shrinks to the breakers**: hash tables and
+  materialised breaker outputs still need device memory, so heap
+  contention persists for "reasonably complex query workloads" —
+  exactly the paper's point.
+* **Cross-processor vector splitting** (Chen et al.): when both
+  processors can run a pipeline, its vectors are split so CPU and GPU
+  finish together; the GPU's share is bounded by the PCIe rate when
+  the inputs are not cached.
+
+Pipelines are placed as a unit: the data-driven rule requires every
+column any member operator reads to be device-resident; the cost-based
+rule compares whole-pipeline estimates.
+
+Functional results are produced by the same operator implementations,
+so vectorized runs return exactly the same answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set
+
+from repro.engine.execution.context import ExecutionContext
+from repro.engine.intermediates import OperatorResult
+from repro.engine.operators import (
+    HashJoin,
+    PhysicalOperator,
+    PhysicalPlan,
+    RefineSelect,
+    ScanSelect,
+)
+from repro.hardware import DeviceOutOfMemory
+from repro.hardware.processor import ProcessorKind
+from repro.sim import Process
+
+
+def is_pipelineable(op: PhysicalOperator) -> bool:
+    """Operators that forward vectors without materialising.
+
+    Selections pipeline trivially; a hash join pipelines its *probe*
+    side (the build side is a breaker feeding the hash table).
+    """
+    return isinstance(op, (ScanSelect, RefineSelect, HashJoin))
+
+
+class Pipeline:
+    """A maximal chain of pipelineable operators ending in a breaker
+    (or in the plan root)."""
+
+    def __init__(self, operators: List[PhysicalOperator]):
+        if not operators:
+            raise ValueError("a pipeline has at least one operator")
+        self.operators = operators
+
+    @property
+    def terminal(self) -> PhysicalOperator:
+        return self.operators[-1]
+
+    def required_columns(self) -> Set[str]:
+        keys: Set[str] = set()
+        for op in self.operators:
+            keys |= op.required_columns()
+        return keys
+
+    def __repr__(self) -> str:
+        return "<Pipeline {}>".format(
+            " -> ".join(op.label for op in self.operators)
+        )
+
+
+def build_pipelines(plan: PhysicalPlan) -> List[List[PhysicalOperator]]:
+    """Split a plan into pipelines (post-order list of operator chains).
+
+    Returns chains such that executing them in order respects all
+    dependencies: a chain's inputs are either base columns or the
+    outputs of earlier chains.
+    """
+    chains: List[List[PhysicalOperator]] = []
+
+    def walk(op: PhysicalOperator) -> List[PhysicalOperator]:
+        """Returns the open chain ending at ``op``."""
+        if isinstance(op, HashJoin):
+            probe_chain = walk(op.children[0])
+            build_chain = walk(op.children[1])
+            # the build side breaks here: its chain materialises into
+            # the join's hash table
+            chains.append(build_chain)
+            return probe_chain + [op]
+        if isinstance(op, RefineSelect):
+            return walk(op.children[0]) + [op]
+        if isinstance(op, ScanSelect):
+            return [op]
+        # breaker: every child chain materialises before it runs
+        for child in op.children:
+            chains.append(walk(child))
+        return [op]
+
+    chains.append(walk(plan.root))
+    return chains
+
+
+class VectorizedExecutor:
+    """Runs plans pipeline-at-a-time with vector streaming."""
+
+    def __init__(self, ctx: ExecutionContext, strategy,
+                 allow_split: bool = True):
+        self.ctx = ctx
+        self.strategy = strategy
+        self.allow_split = allow_split
+
+    # -- public API ----------------------------------------------------
+
+    def submit(self, plan: PhysicalPlan) -> Process:
+        """Execute ``plan``; returns a process yielding the root result."""
+        return self.ctx.env.process(self._run_plan(plan))
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_plan(self, plan: PhysicalPlan) -> Generator:
+        results: Dict[int, OperatorResult] = {}
+        pipelines = [Pipeline(chain) for chain in build_pipelines(plan)]
+        # map each pipeline to the (later) pipeline consuming its output
+        consumers: Dict[int, Pipeline] = {}
+        for pipeline in pipelines:
+            for op in pipeline.operators:
+                for child in op.children:
+                    consumers[child.op_id] = pipeline
+        for pipeline in pipelines:
+            consumer = consumers.get(pipeline.terminal.op_id)
+            yield from self._run_pipeline(pipeline, results, consumer)
+        result = results[plan.root.op_id]
+        if result.location != "cpu":
+            yield from self.ctx.bus.transfer(result.nominal_bytes, "d2h")
+            result.release_device_memory()
+            result.location = "cpu"
+        return result
+
+    def _device_for(self, pipeline: Pipeline,
+                    results: Dict[int, OperatorResult],
+                    result: OperatorResult,
+                    consumer: Optional[Pipeline]) -> Optional[str]:
+        """Device placement for a whole pipeline (None = CPU)."""
+        ctx = self.ctx
+        required = pipeline.required_columns()
+        if self.strategy.uses_data_placement:
+            for device in ctx.hardware.gpus:
+                if all(key in device.cache for key in required):
+                    return device.name
+            return None
+        # cost-based: compare whole-pipeline estimates per device.  The
+        # breaker output ships back to the host unless the consuming
+        # pipeline could itself run on this device.
+        _, compute = self._io_and_compute(pipeline, results, None)
+        cpu_cost = compute[ProcessorKind.CPU]
+        best: Optional[str] = None
+        best_cost = cpu_cost
+        for device in ctx.hardware.gpus:
+            stream_bytes, compute = self._io_and_compute(
+                pipeline, results, device.name
+            )
+            cost = max(compute[ProcessorKind.GPU],
+                       ctx.bus.transfer_time(stream_bytes))
+            consumer_stays = consumer is not None and all(
+                key in device.cache
+                for key in consumer.required_columns()
+            )
+            if not consumer_stays:
+                cost += ctx.bus.transfer_time(result.nominal_bytes)
+            if cost < best_cost:
+                best = device.name
+                best_cost = cost
+        return best
+
+    def _run_pipeline(self, pipeline: Pipeline,
+                      results: Dict[int, OperatorResult],
+                      consumer: Optional[Pipeline] = None) -> Generator:
+        ctx = self.ctx
+        env = ctx.env
+        database = ctx.database
+        start = env.now
+        for op in pipeline.operators:
+            for key in sorted(op.required_columns()):
+                database.statistics.record_access(key, env.now)
+
+        # functional execution first (zero simulated time): run-time
+        # placement sees exact input and output cardinalities
+        result = self._materialise(pipeline, results)
+        device_name = self._device_for(pipeline, results, result, consumer)
+        placed = None
+        if device_name is not None:
+            placed = yield from self._attempt_device(
+                pipeline, results, result, device_name, start
+            )
+        if placed is None:
+            yield from self._run_on_cpu(pipeline, results, result)
+        # single-consumer plans: release inputs the pipeline consumed
+        for op in pipeline.operators:
+            for child in op.children:
+                child_result = results.get(child.op_id)
+                if child_result is not None and child_result is not result:
+                    child_result.release_device_memory()
+
+    def _materialise(self, pipeline: Pipeline,
+                     results: Dict[int, OperatorResult]) -> OperatorResult:
+        """Functional execution of the chain (shared numpy work)."""
+        database = self.ctx.database
+        result = None
+        for op in pipeline.operators:
+            child_results = [results[c.op_id] for c in op.children]
+            result = op.produce(database, child_results)
+            results[op.op_id] = result
+        return result
+
+    def _io_and_compute(self, pipeline: Pipeline,
+                        results: Dict[int, OperatorResult],
+                        device_name: Optional[str]):
+        """(bytes to stream over the bus, compute seconds per kind)."""
+        ctx = self.ctx
+        stream_bytes = 0
+        if device_name is not None:
+            device = ctx.hardware.device(device_name)
+            for key in pipeline.required_columns():
+                if key not in device.cache:
+                    stream_bytes += ctx.database.column(key).nominal_bytes
+            for op in pipeline.operators:
+                for child in op.children:
+                    child_result = results.get(child.op_id)
+                    if (child_result is not None
+                            and child_result.location != device_name):
+                        stream_bytes += child_result.nominal_bytes
+        compute = {}
+        for kind in (ProcessorKind.CPU, ProcessorKind.GPU):
+            total = 0.0
+            for op in pipeline.operators:
+                child_results = [results[c.op_id] for c in op.children]
+                input_bytes = op.input_nominal_bytes(ctx.database,
+                                                     child_results)
+                total += ctx.profile.compute_seconds(op.kind, kind,
+                                                     input_bytes)
+            compute[kind] = total
+        return stream_bytes, compute
+
+    def _attempt_device(self, pipeline: Pipeline,
+                        results: Dict[int, OperatorResult],
+                        result: OperatorResult,
+                        device_name: str, start: float) -> Generator:
+        """Run the pipeline on a device; None when the breaker aborts."""
+        ctx = self.ctx
+        env = ctx.env
+        device = ctx.hardware.device(device_name)
+        stream_bytes, compute = self._io_and_compute(
+            pipeline, results, device_name
+        )
+        gpu_seconds = compute[ProcessorKind.GPU]
+        cpu_seconds = compute[ProcessorKind.CPU]
+
+        split = 0.0  # fraction of vectors handled by the host
+        if self.allow_split and gpu_seconds > 0:
+            # balance completion: the host takes the share that makes
+            # both sides finish together
+            gpu_rate = 1.0 / gpu_seconds
+            cpu_rate = 1.0 / cpu_seconds if cpu_seconds > 0 else 0.0
+            split = cpu_rate / (cpu_rate + gpu_rate)
+
+        try:
+            # the breaker's materialised output (or hash table) is the
+            # pipeline's only heap demand — vectors themselves stream
+            breaker = device.heap.allocate(result.nominal_bytes,
+                                           owner=pipeline.terminal.label)
+        except DeviceOutOfMemory:
+            ctx.metrics.record_abort(env.now - start)
+            return None
+
+        transfers = None
+        if stream_bytes:
+            transfers = env.process(
+                ctx.bus.transfer(int(stream_bytes * (1 - split)), "h2d")
+            )
+        gpu_done = device.processor.submit(gpu_seconds * (1 - split))
+        cpu_done = ctx.hardware.cpu.submit(cpu_seconds * split)
+        yield env.all_of([gpu_done, cpu_done])
+        if transfers is not None:
+            yield transfers
+        ctx.metrics.record_operator(device.processor.name,
+                                    gpu_seconds * (1 - split))
+        if split > 0:
+            ctx.metrics.record_operator("cpu", cpu_seconds * split)
+        result.allocation = breaker
+        result.location = device_name
+        return result
+
+    def _run_on_cpu(self, pipeline: Pipeline,
+                    results: Dict[int, OperatorResult],
+                    result: OperatorResult) -> Generator:
+        ctx = self.ctx
+        # inputs produced on a device stream back to the host
+        for op in pipeline.operators:
+            for child in op.children:
+                child_result = results.get(child.op_id)
+                if child_result is not None and child_result.location != "cpu":
+                    yield from ctx.bus.transfer(
+                        child_result.nominal_bytes, "d2h"
+                    )
+        _, compute = self._io_and_compute(pipeline, results, None)
+        yield from ctx.hardware.cpu.execute(compute[ProcessorKind.CPU])
+        result.location = "cpu"

@@ -1,0 +1,48 @@
+"""Evaluation frames.
+
+A :class:`Frame` resolves column references during expression
+evaluation.  It binds a database plus (optionally) per-table row
+positions, so the same expression code evaluates over full base tables,
+selection intermediates (tid lists), and join results (aligned tid
+lists per table).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.storage import Column, Database
+
+
+class Frame:
+    """Column resolver for expression evaluation."""
+
+    def __init__(
+        self,
+        database: Database,
+        positions: Optional[Dict[str, np.ndarray]] = None,
+    ):
+        self._database = database
+        self._positions = positions
+
+    def array(self, key: str) -> np.ndarray:
+        """Values of ``table.column`` at this frame's row positions."""
+        column = self._database.column(key)
+        if self._positions is None:
+            return column.values
+        table_name = key.partition(".")[0]
+        try:
+            positions = self._positions[table_name]
+        except KeyError:
+            raise KeyError(
+                "frame has no positions for table {!r} (needed by {})".format(
+                    table_name, key
+                )
+            )
+        return column.gather(positions)
+
+    def column_meta(self, key: str) -> Column:
+        """The column object (for dictionary lookups)."""
+        return self._database.column(key)

@@ -1,0 +1,128 @@
+"""Intermediate results flowing between operators.
+
+CoGaDB materialises every operator output (Sec. 2.5).  Two payload
+shapes exist:
+
+* :class:`TidSet` — aligned row positions per base table (the output of
+  selections and joins in a column store with positional processing).
+* :class:`ResultFrame` — materialised value columns (the output of
+  aggregation, sorting, and final projection).
+
+:class:`OperatorResult` wraps a payload with its actual and nominal
+sizing plus placement bookkeeping filled in by the executors (where the
+result lives, and the device heap allocation backing it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class TidSet:
+    """Aligned row positions for one or more base tables."""
+
+    def __init__(self, tables: Dict[str, np.ndarray]):
+        if not tables:
+            raise ValueError("a TidSet references at least one table")
+        lengths = {name: len(tids) for name, tids in tables.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError("misaligned TidSet lengths: {}".format(lengths))
+        self.tables = tables
+
+    def __len__(self) -> int:
+        return len(next(iter(self.tables.values())))
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self.tables
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self.tables)
+
+    def positions(self, table_name: str) -> np.ndarray:
+        return self.tables[table_name]
+
+    def __repr__(self) -> str:
+        return "<TidSet {} rows over {}>".format(len(self), self.table_names)
+
+
+class ResultFrame:
+    """Materialised output columns (optionally with string dictionaries)."""
+
+    def __init__(
+        self,
+        columns: "Dict[str, np.ndarray]",
+        dictionaries: Optional[Dict[str, List[str]]] = None,
+    ):
+        if not columns:
+            raise ValueError("a ResultFrame has at least one column")
+        lengths = {name: len(arr) for name, arr in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError("misaligned frame lengths: {}".format(lengths))
+        self.columns = columns
+        self.dictionaries = dictionaries or {}
+
+    def __len__(self) -> int:
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def decoded(self, name: str):
+        """Column values with dictionary codes mapped back to strings."""
+        values = self.columns[name]
+        dictionary = self.dictionaries.get(name)
+        if dictionary is None:
+            return list(values)
+        return [dictionary[int(code)] for code in values]
+
+    def row_tuples(self) -> List[tuple]:
+        """All rows as tuples with strings decoded (for tests/output)."""
+        decoded = [self.decoded(name) for name in self.column_names]
+        return list(zip(*decoded)) if decoded else []
+
+    @property
+    def width_bytes(self) -> int:
+        return sum(arr.dtype.itemsize for arr in self.columns.values())
+
+    def __repr__(self) -> str:
+        return "<ResultFrame {} rows x {}>".format(len(self), self.column_names)
+
+
+class OperatorResult:
+    """An operator output plus sizing and placement bookkeeping."""
+
+    def __init__(self, payload, actual_rows: int, nominal_rows: int,
+                 row_width_bytes: int):
+        self.payload = payload
+        self.actual_rows = int(actual_rows)
+        self.nominal_rows = int(nominal_rows)
+        self.row_width_bytes = int(row_width_bytes)
+        #: name of the processor whose memory holds the result
+        self.location: str = "cpu"
+        #: device heap allocation backing the result, if on the GPU
+        self.allocation = None
+        #: consumers that still have to read this result
+        self.pending_consumers: int = 0
+
+    @property
+    def nominal_bytes(self) -> int:
+        """Paper-scale size of the materialised result."""
+        return self.nominal_rows * self.row_width_bytes
+
+    def release_device_memory(self) -> None:
+        """Free the backing device allocation (idempotent)."""
+        if self.allocation is not None:
+            self.allocation.free()
+            self.allocation = None
+
+    def __repr__(self) -> str:
+        return "<OperatorResult rows={} nominal={}B at {}>".format(
+            self.actual_rows, self.nominal_bytes, self.location
+        )

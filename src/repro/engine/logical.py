@@ -1,0 +1,136 @@
+"""Logical query plans.
+
+The strategic optimizer (Boncz's split, Sec. 4) produces a logical
+plan: structure and join order, but no processor assignment.  The
+tactical layer (placement strategies and executors) works on the
+lowered physical plan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.expressions import Aggregate, ColumnRef, Expression
+
+
+class LogicalNode:
+    """Base class for logical plan nodes."""
+
+    def __init__(self, children: Optional[List["LogicalNode"]] = None):
+        self.children: List[LogicalNode] = list(children or [])
+
+    def explain(self, indent: int = 0) -> str:
+        """Human-readable plan tree."""
+        lines = ["{}{}".format("  " * indent, self._describe())]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return "<{}>".format(self._describe())
+
+
+class LogicalScan(LogicalNode):
+    """Filtered scan of a base table."""
+
+    def __init__(self, table: str, predicate: Optional[Expression] = None):
+        super().__init__()
+        self.table = table
+        self.predicate = predicate
+
+    def _describe(self) -> str:
+        if self.predicate is None:
+            return "Scan({})".format(self.table)
+        return "Scan({}, {})".format(self.table, self.predicate.to_sql())
+
+
+class LogicalJoin(LogicalNode):
+    """Inner equi-join; left child is the probe side."""
+
+    def __init__(self, probe: LogicalNode, build: LogicalNode,
+                 probe_key: ColumnRef, build_key: ColumnRef):
+        super().__init__([probe, build])
+        self.probe_key = probe_key
+        self.build_key = build_key
+
+    def _describe(self) -> str:
+        return "Join({} = {})".format(self.probe_key.key, self.build_key.key)
+
+
+class LogicalAggregate(LogicalNode):
+    """Grouped aggregation."""
+
+    def __init__(self, child: LogicalNode, group_by: List[ColumnRef],
+                 aggregates: List[Aggregate]):
+        super().__init__([child])
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+
+    def _describe(self) -> str:
+        return "Aggregate(group=[{}], aggs=[{}])".format(
+            ", ".join(r.key for r in self.group_by),
+            ", ".join(a.to_sql() for a in self.aggregates),
+        )
+
+
+class LogicalProject(LogicalNode):
+    """Final projection / materialisation of output expressions."""
+
+    def __init__(self, child: LogicalNode,
+                 items: List[Tuple[str, Expression]]):
+        super().__init__([child])
+        self.items = list(items)
+
+    def _describe(self) -> str:
+        return "Project({})".format(", ".join(alias for alias, _ in self.items))
+
+
+class LogicalHaving(LogicalNode):
+    """Filter grouped output rows by a predicate over output columns."""
+
+    def __init__(self, child: LogicalNode, predicate: Expression):
+        super().__init__([child])
+        self.predicate = predicate
+
+    def _describe(self) -> str:
+        return "Having({})".format(self.predicate.to_sql())
+
+
+class LogicalDistinct(LogicalNode):
+    """Duplicate elimination over the projected output."""
+
+    def __init__(self, child: LogicalNode):
+        super().__init__([child])
+
+    def _describe(self) -> str:
+        return "Distinct"
+
+
+class LogicalSort(LogicalNode):
+    """Sort by output column names."""
+
+    def __init__(self, child: LogicalNode, keys: List[Tuple[str, bool]]):
+        super().__init__([child])
+        self.keys = list(keys)
+
+    def _describe(self) -> str:
+        return "Sort({})".format(
+            ", ".join(
+                "{} {}".format(name, "asc" if asc else "desc")
+                for name, asc in self.keys
+            )
+        )
+
+
+class LogicalLimit(LogicalNode):
+    """Keep the first n rows."""
+
+    def __init__(self, child: LogicalNode, n: int):
+        super().__init__([child])
+        self.n = n
+
+    def _describe(self) -> str:
+        return "Limit({})".format(self.n)

@@ -1,0 +1,33 @@
+"""Physical operators.
+
+Every operator declares
+
+* ``kind`` — the cost-model key (selection, join, groupby, ...),
+* ``required_columns()`` — the base columns it reads (drives data-driven
+  placement and the access statistics),
+* ``input_nominal_bytes()`` — paper-scale input volume for costing,
+* ``run()`` — the functional numpy implementation.
+"""
+
+from repro.engine.operators.base import PhysicalOperator, PhysicalPlan
+from repro.engine.operators.scan import RefineSelect, ScanSelect, TidIntersect
+from repro.engine.operators.join import HashJoin
+from repro.engine.operators.aggregate import GroupByAggregate
+from repro.engine.operators.materialize import Materialize
+from repro.engine.operators.frame_ops import Distinct, FrameFilter
+from repro.engine.operators.sort import Limit, Sort
+
+__all__ = [
+    "Distinct",
+    "FrameFilter",
+    "GroupByAggregate",
+    "HashJoin",
+    "Limit",
+    "Materialize",
+    "PhysicalOperator",
+    "PhysicalPlan",
+    "RefineSelect",
+    "ScanSelect",
+    "Sort",
+    "TidIntersect",
+]

@@ -1,0 +1,195 @@
+"""Operator and plan base classes."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Set
+
+from repro.engine.intermediates import OperatorResult
+from repro.storage import Database
+
+#: 32-bit OIDs, as CoGaDB/MonetDB configure them in the paper's setup.
+TID_BYTES = 4
+
+_op_counter = itertools.count(1)
+
+
+class PhysicalOperator:
+    """A node in a physical query plan.
+
+    Operators form a tree; children produce fully materialised
+    :class:`OperatorResult` instances before the parent runs
+    (operator-at-a-time execution).
+    """
+
+    #: cost model key; subclasses override
+    kind = "scan"
+    #: operators that must run on the host (e.g. final result delivery)
+    cpu_only = False
+
+    def __init__(self, children: Optional[List["PhysicalOperator"]] = None,
+                 label: str = ""):
+        self.children: List[PhysicalOperator] = list(children or [])
+        self.op_id = next(_op_counter)
+        self.label = label or type(self).__name__
+        #: compile-time processor assignment ("cpu"/"gpu"); None means
+        #: the executor decides at run time
+        self.placement: Optional[str] = None
+        #: memoised functional result (payload, actual, nominal, width);
+        #: repeated workload executions reuse the numpy work while the
+        #: simulation still models every timing aspect independently
+        self._cached_result = None
+        #: set when the operator joins a PhysicalPlan (used by tracing)
+        self.plan_name = "query"
+
+    def __repr__(self) -> str:
+        return "<{} #{} kind={} on={}>".format(
+            self.label, self.op_id, self.kind, self.placement or "?"
+        )
+
+    # -- interface ------------------------------------------------------
+
+    def required_columns(self) -> Set[str]:
+        """Base column keys this operator reads directly."""
+        return set()
+
+    def input_nominal_bytes(self, database: Database,
+                            child_results: List[OperatorResult]) -> int:
+        """Paper-scale input volume (drives compute cost and footprint)."""
+        raise NotImplementedError
+
+    def estimate_input_nominal_bytes(self, database: Database) -> int:
+        """Compile-time estimate of the input volume (no results yet).
+
+        Used by compile-time placement heuristics; the default walks
+        required columns and assumes full scans.
+        """
+        return sum(
+            database.column(key).nominal_bytes for key in self.required_columns()
+        ) or TID_BYTES
+
+    def run(self, database: Database,
+            child_results: List[OperatorResult]) -> OperatorResult:
+        """Functional execution with numpy."""
+        raise NotImplementedError
+
+    def device_footprint_bytes(self, profile, database: Database,
+                               child_results: List[OperatorResult]) -> int:
+        """Device heap demand when executing on the co-processor.
+
+        Defaults to the profile's per-kind factor over the input
+        volume; operators with different working-memory shapes (hash
+        joins) override this.
+        """
+        return profile.footprint_bytes(
+            self.kind, self.input_nominal_bytes(database, child_results)
+        )
+
+    def produce(self, database: Database,
+                child_results: List[OperatorResult]) -> OperatorResult:
+        """Run, or rebuild a fresh result from the memoised payload."""
+        if self._cached_result is not None:
+            payload, actual_rows, nominal_rows, width = self._cached_result
+            return OperatorResult(payload, actual_rows, nominal_rows, width)
+        result = self.run(database, child_results)
+        self._cached_result = (
+            result.payload,
+            result.actual_rows,
+            result.nominal_rows,
+            result.row_width_bytes,
+        )
+        return result
+
+    # -- traversal --------------------------------------------------------
+
+    def walk(self):
+        """Yield the subtree in post order (children before parents)."""
+        for child in self.children:
+            for node in child.walk():
+                yield node
+        yield self
+
+
+class PhysicalPlan:
+    """A physical plan: a root operator plus metadata."""
+
+    def __init__(self, root: PhysicalOperator, name: str = "query"):
+        self.root = root
+        self.name = name
+        for op in root.walk():
+            op.plan_name = name
+
+    @property
+    def operators(self) -> List[PhysicalOperator]:
+        """All operators in post order."""
+        return list(self.root.walk())
+
+    @property
+    def leaves(self) -> List[PhysicalOperator]:
+        return [op for op in self.operators if not op.children]
+
+    def required_columns(self) -> Set[str]:
+        keys: Set[str] = set()
+        for op in self.operators:
+            keys |= op.required_columns()
+        return keys
+
+    def assign_all(self, processor_name: str) -> None:
+        """Fix every operator's placement (compile-time strategies)."""
+        for op in self.operators:
+            op.placement = processor_name
+
+    def explain(self) -> str:
+        """Human-readable plan tree with placements and cached sizes.
+
+        Placements show as ``?`` until a compile-time strategy assigned
+        them (run-time strategies decide during execution).
+        """
+        lines = []
+
+        def render(op: PhysicalOperator, indent: int) -> None:
+            size = ""
+            if op._cached_result is not None:
+                _, actual_rows, nominal_rows, width = op._cached_result
+                size = " rows={} nominal={}B".format(
+                    actual_rows, nominal_rows * width
+                )
+            lines.append("{}{} [{} on {}]{}".format(
+                "  " * indent, op.label, op.kind, op.placement or "?", size
+            ))
+            for child in op.children:
+                render(child, indent + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)
+
+    def clone(self) -> "PhysicalPlan":
+        """Fresh operator instances for one execution.
+
+        Placement and per-execution state are reset; immutable pieces
+        (predicates, memoised result payloads) are shared.
+        """
+        import copy
+
+        def clone_tree(op: PhysicalOperator) -> PhysicalOperator:
+            twin = copy.copy(op)
+            twin.op_id = next(_op_counter)
+            twin.placement = None
+            twin.children = [clone_tree(child) for child in op.children]
+            return twin
+
+        return PhysicalPlan(clone_tree(self.root), name=self.name)
+
+    def __repr__(self) -> str:
+        return "<PhysicalPlan {} ops={}>".format(self.name, len(self.operators))
+
+
+def scaled_nominal_rows(actual_out: int, actual_in: int, nominal_in: int) -> int:
+    """Scale an output cardinality from actual to nominal data size.
+
+    Intermediate sizes at paper scale follow the selectivity observed on
+    the reduced actual data.
+    """
+    if actual_in <= 0:
+        return 0
+    return int(round(actual_out / actual_in * nominal_in))

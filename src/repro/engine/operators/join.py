@@ -1,0 +1,122 @@
+"""Hash join."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from repro.engine.expressions import ColumnRef
+from repro.engine.intermediates import OperatorResult, TidSet
+from repro.engine.operators.base import (
+    PhysicalOperator,
+    TID_BYTES,
+    scaled_nominal_rows,
+)
+from repro.storage import Database
+
+
+def _expand_matches(left_values: np.ndarray, right_values: np.ndarray):
+    """Vectorised inner equi-join on value arrays.
+
+    Returns aligned index arrays ``(left_idx, right_idx)`` covering
+    every matching pair, including 1:N matches on the build side.
+    """
+    order = np.argsort(right_values, kind="stable")
+    sorted_right = right_values[order]
+    lo = np.searchsorted(sorted_right, left_values, side="left")
+    hi = np.searchsorted(sorted_right, left_values, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_idx = np.repeat(np.arange(len(left_values), dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    right_idx = order[starts + offsets]
+    return left_idx, right_idx
+
+
+class HashJoin(PhysicalOperator):
+    """Inner equi-join of two TidSet children.
+
+    The left child is the probe side (usually the fact-table lineage),
+    the right child the build side (usually a filtered dimension).  The
+    output TidSet aligns the positions of every base table reachable
+    from either side.
+    """
+
+    kind = "join"
+
+    def __init__(
+        self,
+        probe: PhysicalOperator,
+        build: PhysicalOperator,
+        probe_key: ColumnRef,
+        build_key: ColumnRef,
+        label: str = "",
+    ):
+        super().__init__(
+            children=[probe, build],
+            label=label or "Join({}={})".format(probe_key.key, build_key.key),
+        )
+        self.probe_key = probe_key
+        self.build_key = build_key
+
+    def required_columns(self) -> Set[str]:
+        return {self.probe_key.key, self.build_key.key}
+
+    def input_nominal_bytes(self, database: Database,
+                            child_results: List[OperatorResult]) -> int:
+        probe, build = child_results
+        key_width = database.column(self.probe_key.key).ctype.itemsize
+        probe_bytes = probe.nominal_rows * (TID_BYTES + key_width)
+        build_bytes = build.nominal_rows * (TID_BYTES + key_width)
+        return max(probe_bytes + build_bytes, TID_BYTES)
+
+    def estimate_input_nominal_bytes(self, database: Database) -> int:
+        probe_rows = database.table(self.probe_key.table).nominal_rows
+        build_rows = database.table(self.build_key.table).nominal_rows
+        key_width = database.column(self.probe_key.key).ctype.itemsize
+        return (probe_rows + build_rows) * (TID_BYTES + key_width)
+
+    def device_footprint_bytes(self, profile, database, child_results) -> int:
+        """Hash-join working memory: the hash table over the build side
+        plus output buffers sized by the streamed probe side."""
+        probe, build = child_results
+        key_width = database.column(self.build_key.key).ctype.itemsize
+        build_bytes = build.nominal_rows * (TID_BYTES + key_width)
+        probe_bytes = probe.nominal_rows * (TID_BYTES + key_width)
+        return int(2.0 * build_bytes + 0.5 * probe_bytes)
+
+    def run(self, database: Database,
+            child_results: List[OperatorResult]) -> OperatorResult:
+        probe, build = child_results
+        probe_tids = probe.payload.positions(self.probe_key.table)
+        build_tids = build.payload.positions(self.build_key.table)
+        probe_values = database.column(self.probe_key.key).gather(probe_tids)
+        build_values = database.column(self.build_key.key).gather(build_tids)
+        probe_idx, build_idx = _expand_matches(probe_values, build_values)
+
+        tables = {}
+        for name, tids in probe.payload.tables.items():
+            tables[name] = tids[probe_idx]
+        for name, tids in build.payload.tables.items():
+            if name in tables:
+                raise ValueError(
+                    "table {} appears on both join sides".format(name)
+                )
+            tables[name] = tids[build_idx]
+
+        nominal = scaled_nominal_rows(
+            len(probe_idx), max(probe.actual_rows, 1), probe.nominal_rows
+        )
+        return OperatorResult(
+            TidSet(tables),
+            actual_rows=len(probe_idx),
+            nominal_rows=nominal,
+            row_width_bytes=TID_BYTES * len(tables),
+        )

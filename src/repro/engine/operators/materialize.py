@@ -1,0 +1,70 @@
+"""Materialisation of selected columns."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.engine.expressions import ColumnRef, Expression
+from repro.engine.frame import Frame
+from repro.engine.intermediates import OperatorResult, ResultFrame, TidSet
+from repro.engine.operators.base import PhysicalOperator, TID_BYTES
+from repro.storage import ColumnType, Database
+
+
+class Materialize(PhysicalOperator):
+    """Gather output columns for a TidSet child (final projection).
+
+    ``items`` is a list of ``(alias, expression)`` pairs; plain column
+    references keep their dictionaries so strings decode.
+    """
+
+    kind = "projection"
+    #: result delivery gathers arbitrary output columns on the host;
+    #: CoGaDB materialises final results in host memory.
+    cpu_only = True
+
+    def __init__(self, child: PhysicalOperator,
+                 items: List[Tuple[str, Expression]], label: str = ""):
+        if not items:
+            raise ValueError("materialisation needs at least one item")
+        super().__init__(children=[child], label=label or "Materialize")
+        self.items = list(items)
+
+    def required_columns(self) -> Set[str]:
+        keys: Set[str] = set()
+        for _, expr in self.items:
+            keys |= expr.columns()
+        return keys
+
+    def input_nominal_bytes(self, database: Database,
+                            child_results: List[OperatorResult]) -> int:
+        (child,) = child_results
+        width = sum(
+            database.column(key).ctype.itemsize for key in self.required_columns()
+        ) or TID_BYTES
+        return max(child.nominal_rows * width, TID_BYTES)
+
+    def run(self, database: Database,
+            child_results: List[OperatorResult]) -> OperatorResult:
+        (child,) = child_results
+        payload = child.payload
+        if not isinstance(payload, TidSet):
+            raise TypeError("Materialize expects a TidSet input")
+        frame = Frame(database, payload.tables)
+        columns: Dict[str, np.ndarray] = {}
+        dictionaries: Dict[str, list] = {}
+        for alias, expr in self.items:
+            columns[alias] = np.asarray(expr.evaluate(frame))
+            if isinstance(expr, ColumnRef):
+                meta = database.column(expr.key)
+                if meta.ctype is ColumnType.STRING:
+                    dictionaries[alias] = meta.dictionary
+        frame_out = ResultFrame(columns, dictionaries)
+        return OperatorResult(
+            frame_out,
+            actual_rows=len(frame_out),
+            nominal_rows=child.nominal_rows,
+            row_width_bytes=frame_out.width_bytes,
+        )

@@ -1,0 +1,73 @@
+"""PCIe bus model.
+
+The bus is the usual bottleneck between host and co-processor
+(Sec. 2.1).  We model it as a single shared channel: transfers acquire
+the bus exclusively, so concurrent queries queue up — this is exactly
+the contention that amplifies cache thrashing under parallel load.
+
+The bandwidth constant folds in the paper's transfer optimizations
+(page-locked staging buffers, asynchronous CUDA streams, Sec. 2.5.3);
+we model their *achieved* effective bandwidth rather than each
+mechanism individually.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.metrics import MetricsCollector
+from repro.sim import Environment, Resource
+
+
+class PCIeBus:
+    """A shared, serialised transfer channel between host and device."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_bytes_per_second: float,
+        latency_seconds: float = 0.0,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        if bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_seconds < 0:
+            raise ValueError("latency must be >= 0")
+        self.env = env
+        self.bandwidth = float(bandwidth_bytes_per_second)
+        self.latency = float(latency_seconds)
+        self.metrics = metrics
+        self._channel = Resource(env, capacity=1)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Pure wire time for ``nbytes`` (excluding queueing)."""
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int, direction: str) -> Generator:
+        """DES process: move ``nbytes`` across the bus.
+
+        ``direction`` is ``"h2d"`` (host to device) or ``"d2h"``.
+        Yields until the bus is free and the wire time has elapsed.
+        Only the wire time (not the queueing delay) is charged to the
+        metrics, matching how the paper reports copy times.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative volume")
+        if direction not in ("h2d", "d2h"):
+            raise ValueError("unknown transfer direction {!r}".format(direction))
+        if nbytes == 0:
+            return
+        request = self._channel.request()
+        yield request
+        try:
+            wire_time = self.transfer_time(nbytes)
+            yield self.env.timeout(wire_time)
+            if self.metrics is not None:
+                self.metrics.record_transfer(direction, nbytes, wire_time)
+        finally:
+            self._channel.release(request)
+
+    @property
+    def queue_length(self) -> int:
+        """Transfers currently waiting for the channel."""
+        return self._channel.queue_length

@@ -1,0 +1,19 @@
+"""Hardware fault types."""
+
+
+class DeviceOutOfMemory(Exception):
+    """A device heap allocation failed.
+
+    This is the fault the paper's fault-tolerance machinery reacts to:
+    the operator aborts, its wasted time is recorded, and the executor
+    restarts it on the CPU (Sec. 2.5.1).
+    """
+
+    def __init__(self, requested: int, available: int):
+        super().__init__(
+            "device allocation of {} bytes failed ({} bytes free)".format(
+                requested, available
+            )
+        )
+        self.requested = requested
+        self.available = available

@@ -1,0 +1,100 @@
+"""Device heap allocator.
+
+The co-processor's memory that is not used as column cache serves as
+heap for operator intermediates and results (Sec. 2.1).  Operators
+allocate their footprint up front; a failed allocation raises
+:class:`DeviceOutOfMemory` immediately — the paper explicitly rejects
+wait-and-admit because partially allocated operators would deadlock
+(Sec. 2.5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.hardware.errors import DeviceOutOfMemory
+from repro.metrics import MetricsCollector
+
+
+class Allocation:
+    """A handle for one heap allocation; free exactly once."""
+
+    __slots__ = ("nbytes", "owner", "_heap", "freed")
+
+    def __init__(self, nbytes: int, owner: str, heap: "DeviceHeap"):
+        self.nbytes = nbytes
+        self.owner = owner
+        self._heap = heap
+        self.freed = False
+
+    def free(self) -> None:
+        """Return this allocation to the heap (idempotent)."""
+        if not self.freed:
+            self._heap._release(self)
+
+    def shrink(self, new_nbytes: int) -> None:
+        """Reduce the allocation (e.g. working memory freed, result kept)."""
+        if new_nbytes > self.nbytes:
+            raise ValueError("shrink cannot grow an allocation")
+        if self.freed:
+            raise RuntimeError("allocation already freed")
+        self._heap._shrink(self, new_nbytes)
+
+
+class DeviceHeap:
+    """Bump-count allocator with exact accounting (no fragmentation model).
+
+    Fragmentation is not modelled: the paper's contention effect is
+    purely capacity-driven (sum of operator footprints vs. heap size).
+    """
+
+    def __init__(self, capacity_bytes: int,
+                 metrics: Optional[MetricsCollector] = None):
+        if capacity_bytes < 0:
+            raise ValueError("heap capacity must be >= 0")
+        self.capacity = int(capacity_bytes)
+        self.used = 0
+        self.metrics = metrics
+        self._live: Set[Allocation] = set()
+
+    @property
+    def available(self) -> int:
+        """Bytes currently free."""
+        return self.capacity - self.used
+
+    @property
+    def live_allocations(self) -> int:
+        """Number of outstanding allocations."""
+        return len(self._live)
+
+    def allocate(self, nbytes: int, owner: str = "?") -> Allocation:
+        """Allocate ``nbytes``; raises :class:`DeviceOutOfMemory` on failure."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative size")
+        if nbytes > self.available:
+            raise DeviceOutOfMemory(requested=nbytes, available=self.available)
+        allocation = Allocation(nbytes, owner, self)
+        self.used += nbytes
+        self._live.add(allocation)
+        if self.metrics is not None:
+            self.metrics.record_heap_usage(self.used)
+        return allocation
+
+    def can_allocate(self, nbytes: int) -> bool:
+        """True if an allocation of ``nbytes`` would currently succeed."""
+        return 0 <= nbytes <= self.available
+
+    def _release(self, allocation: Allocation) -> None:
+        if allocation not in self._live:
+            raise RuntimeError("double free of {} bytes".format(allocation.nbytes))
+        self._live.remove(allocation)
+        self.used -= allocation.nbytes
+        allocation.freed = True
+        assert self.used >= 0, "heap accounting went negative"
+
+    def _shrink(self, allocation: Allocation, new_nbytes: int) -> None:
+        if allocation not in self._live:
+            raise RuntimeError("shrinking a freed allocation")
+        delta = allocation.nbytes - new_nbytes
+        allocation.nbytes = new_nbytes
+        self.used -= delta

@@ -1,0 +1,142 @@
+"""Processor model: an egalitarian processor-sharing queue.
+
+A processor executes any number of operators concurrently, sharing its
+device-level throughput equally among them — the behaviour of CUDA
+kernels from concurrent streams, and of CoGaDB's intra-operator
+parallelism timesharing the CPU cores.  An operator submitting
+``seconds`` of work (its full-device execution time) finishes after
+``seconds * n`` wall-clock when ``n`` operators run throughout.
+
+This model has two properties the experiments rely on:
+
+* total throughput is independent of concurrency (an ideal system
+  executes a fixed workload in the same time regardless of the number
+  of user sessions, Sec. 2.3), and
+* concurrency stretches *residency*: operators hold their device heap
+  allocations for longer under load, which is exactly what sustains
+  the heap-contention effect.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Generator, Optional
+
+from repro.metrics import MetricsCollector
+from repro.sim import Environment, Event
+
+
+class ProcessorKind(enum.Enum):
+    """CPU or co-processor (GPU-style accelerator)."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+class _Job:
+    __slots__ = ("remaining", "event")
+
+    def __init__(self, work: float, event: Event):
+        self.remaining = work
+        self.event = event
+
+
+class Processor:
+    """A compute device shared equally among its running operators."""
+
+    #: remaining work below this is considered finished (numerical dust)
+    EPSILON = 1e-12
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        kind: ProcessorKind,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.kind = kind
+        self.metrics = metrics
+        self._jobs: Dict[int, _Job] = {}
+        self._next_job_id = 0
+        self._last_update = env.now
+        self._timer_generation = 0
+
+    def __repr__(self) -> str:
+        return "<Processor {} ({})>".format(self.name, self.kind.value)
+
+    @property
+    def is_coprocessor(self) -> bool:
+        return self.kind is ProcessorKind.GPU
+
+    @property
+    def active_jobs(self) -> int:
+        """Operators currently executing."""
+        return len(self._jobs)
+
+    # -- public API -----------------------------------------------------
+
+    def submit(self, seconds: float) -> Event:
+        """Submit ``seconds`` of full-device work; the returned event
+        fires when the work completes under fair sharing."""
+        if seconds < 0:
+            raise ValueError("negative execution time")
+        self._advance()
+        event = Event(self.env)
+        if seconds == 0:
+            event.succeed()
+            return event
+        self._next_job_id += 1
+        self._jobs[self._next_job_id] = _Job(seconds, event)
+        self._reschedule()
+        return event
+
+    def execute(self, seconds: float, label: str = "op") -> Generator:
+        """DES process: run ``seconds`` of work and record the operator."""
+        yield self.submit(seconds)
+        if self.metrics is not None:
+            self.metrics.record_operator(self.name, seconds)
+
+    def estimated_drain_seconds(self) -> float:
+        """Wall-clock until all current jobs would finish (no arrivals)."""
+        self._advance()
+        return sum(job.remaining for job in self._jobs.values())
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account the work done since the last state change."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._jobs:
+            return
+        share = elapsed / len(self._jobs)
+        for job in self._jobs.values():
+            job.remaining -= share
+
+    def _reschedule(self) -> None:
+        """Arm a timer for the next job completion."""
+        self._timer_generation += 1
+        if not self._jobs:
+            return
+        generation = self._timer_generation
+        shortest = min(job.remaining for job in self._jobs.values())
+        delay = max(shortest, 0.0) * len(self._jobs)
+        timer = self.env.timeout(delay)
+        timer.callbacks.append(lambda _evt: self._on_timer(generation))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # stale timer: the job set changed since it was armed
+        self._advance()
+        finished = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.remaining <= self.EPSILON
+        ]
+        for job_id in finished:
+            job = self._jobs.pop(job_id)
+            job.event.succeed()
+        self._reschedule()

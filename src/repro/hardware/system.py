@@ -1,0 +1,165 @@
+"""System configuration and assembly.
+
+:class:`SystemConfig` mirrors the paper's experimentation platform
+(Sec. 6.1): a four-core Xeon host with 32 GB RAM and a GTX 770 with
+4 GB device memory behind PCIe.  :class:`HardwareSystem` instantiates
+the simulated devices against one DES environment and one metrics
+collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.hardware.bus import PCIeBus
+from repro.hardware.cache import DeviceCache
+from repro.hardware.calibration import COGADB_PROFILE, GIB, EngineProfile
+from repro.hardware.memory import DeviceHeap
+from repro.hardware.processor import Processor, ProcessorKind
+from repro.metrics import MetricsCollector
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Dimensions and calibration of the simulated platform."""
+
+    #: host memory (bytes); the host never runs out in our experiments
+    host_memory_bytes: int = 32 * GIB
+    #: number of co-processors (Sec. 6.3: multiple GPUs scale the
+    #: approach to larger databases and more users); sizes below are
+    #: per device
+    gpu_count: int = 1
+    #: total device memory (bytes); GTX 770: 4 GiB.  The selection
+    #: micro-benchmarks of Sec. 2.3/3.4 assume a 5 GiB device.
+    gpu_memory_bytes: int = 4 * GIB
+    #: slice of device memory used as column cache ("GPU buffer size");
+    #: the remainder is operator heap
+    gpu_cache_bytes: int = 2 * GIB
+    #: cache eviction policy: "lru" or "lfu"
+    gpu_cache_policy: str = "lru"
+    #: effective PCIe bandwidth and latency (page-locked, async streams)
+    pcie_bandwidth_bytes_per_second: float = 2.4 * GIB
+    pcie_latency_seconds: float = 15e-6
+    #: overlap input transfers with kernel execution (the
+    #: vector-at-a-time optimization of Sec. 5.5: "overlap data
+    #: transfer and computation on the co-processor"); CoGaDB's
+    #: operator-at-a-time engine stages first, so the default is off
+    streaming_transfers: bool = False
+    #: cost calibration
+    profile: EngineProfile = COGADB_PROFILE
+
+    def __post_init__(self):
+        if self.gpu_cache_bytes > self.gpu_memory_bytes:
+            raise ValueError("cache cannot exceed device memory")
+        if self.gpu_cache_bytes < 0 or self.gpu_memory_bytes < 0:
+            raise ValueError("memory sizes must be >= 0")
+        if self.gpu_count < 1:
+            raise ValueError("at least one co-processor is required")
+
+    @property
+    def gpu_heap_bytes(self) -> int:
+        """Device memory left for operator intermediates and results."""
+        return self.gpu_memory_bytes - self.gpu_cache_bytes
+
+    def with_cache_bytes(self, gpu_cache_bytes: int) -> "SystemConfig":
+        """Copy of this config with a different GPU buffer size."""
+        return replace(self, gpu_cache_bytes=int(gpu_cache_bytes))
+
+    def with_profile(self, profile: EngineProfile) -> "SystemConfig":
+        return replace(self, profile=profile)
+
+
+@dataclass
+class GpuDevice:
+    """One co-processor: compute, heap, and column cache."""
+
+    name: str
+    processor: Processor
+    heap: DeviceHeap
+    cache: DeviceCache
+
+
+class HardwareSystem:
+    """All simulated devices wired to one environment.
+
+    With ``config.gpu_count > 1`` the system carries several identical
+    co-processors (named ``gpu``, ``gpu2``, ``gpu3``, ...) sharing one
+    PCIe bus; ``gpu``/``gpu_heap``/``gpu_cache`` keep referring to the
+    first device so single-GPU code is unaffected.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: Optional[SystemConfig] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        self.env = env
+        self.config = config if config is not None else SystemConfig()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.cpu = Processor(env, "cpu", ProcessorKind.CPU, metrics=self.metrics)
+        self.bus = PCIeBus(
+            env,
+            bandwidth_bytes_per_second=self.config.pcie_bandwidth_bytes_per_second,
+            latency_seconds=self.config.pcie_latency_seconds,
+            metrics=self.metrics,
+        )
+        self.gpus = []
+        for index in range(self.config.gpu_count):
+            name = "gpu" if index == 0 else "gpu{}".format(index + 1)
+            self.gpus.append(
+                GpuDevice(
+                    name=name,
+                    processor=Processor(env, name, ProcessorKind.GPU,
+                                        metrics=self.metrics),
+                    heap=DeviceHeap(self.config.gpu_heap_bytes,
+                                    metrics=self.metrics),
+                    cache=DeviceCache(
+                        self.config.gpu_cache_bytes,
+                        policy=self.config.gpu_cache_policy,
+                        metrics=self.metrics,
+                        clock=lambda: env.now,
+                    ),
+                )
+            )
+        self.profile = self.config.profile
+
+    # -- first-device aliases (single-GPU code paths) ------------------
+
+    @property
+    def gpu(self) -> Processor:
+        return self.gpus[0].processor
+
+    @property
+    def gpu_heap(self) -> DeviceHeap:
+        return self.gpus[0].heap
+
+    @property
+    def gpu_cache(self) -> DeviceCache:
+        return self.gpus[0].cache
+
+    # -- lookups ----------------------------------------------------------
+
+    @property
+    def processors(self):
+        """All processors, CPU first."""
+        return (self.cpu,) + tuple(d.processor for d in self.gpus)
+
+    @property
+    def gpu_names(self):
+        return [d.name for d in self.gpus]
+
+    def processor(self, name: str) -> Processor:
+        for proc in self.processors:
+            if proc.name == name:
+                return proc
+        raise KeyError("unknown processor {!r}".format(name))
+
+    def device(self, name: str) -> GpuDevice:
+        """The co-processor with the given name."""
+        for gpu_device in self.gpus:
+            if gpu_device.name == name:
+                return gpu_device
+        raise KeyError("unknown co-processor {!r}".format(name))

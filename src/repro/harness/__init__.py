@@ -1,0 +1,17 @@
+"""Experiment harness: workload runner and per-figure drivers."""
+
+from repro.harness.runner import (
+    ValidationError,
+    WorkloadResult,
+    run_workload,
+    validate_results,
+)
+from repro.harness.tables import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "ValidationError",
+    "WorkloadResult",
+    "run_workload",
+    "validate_results",
+]

@@ -1,0 +1,641 @@
+"""Per-figure experiment drivers.
+
+Every figure of the paper's evaluation has a ``figureNN`` function here
+returning an :class:`ExperimentResult` whose rows are the series the
+paper plots.  The drivers accept scale knobs (repetitions, sweep
+points) so the benchmark suite can trade fidelity for wall time; the
+defaults are sized to finish in seconds while preserving the paper's
+shapes.
+
+The micro-benchmark platform follows Sec. 2.3/3.4: a device where
+roughly 5 GiB of heap are available, so that with the 3.25x selection
+footprint about seven parallel queries fit.  The full-workload
+platform is the paper's GTX 770 (4 GiB device memory).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hardware import SystemConfig
+from repro.hardware.calibration import (
+    COGADB_PROFILE,
+    GIB,
+    MIB,
+    OCELOT_PROFILE,
+)
+from repro.harness.runner import run_workload, workload_footprint_bytes
+from repro.harness.tables import ExperimentResult
+from repro.storage import Database
+from repro.workloads import micro, ssb, tpch
+
+#: Default reduction of actual vs. nominal data (see DESIGN.md §2).
+DATA_SCALE = 1e-4
+
+#: Full-workload platform: the paper's GTX 770 (4 GiB device memory),
+#: 1.5 GiB of it used as column cache, the rest as operator heap.
+FULL_CONFIG = SystemConfig(
+    gpu_memory_bytes=4 * GIB, gpu_cache_bytes=int(1.5 * GIB)
+)
+
+#: Micro-benchmark platform (Sec. 3.4 assumes ~5 GB of device heap).
+MICRO_CONFIG = SystemConfig(
+    gpu_memory_bytes=int(5.75 * GIB), gpu_cache_bytes=int(0.5 * GIB)
+)
+
+
+@functools.lru_cache(maxsize=8)
+def ssb_database(scale_factor: float, data_scale: float = DATA_SCALE) -> Database:
+    """Cached SSB database (deterministic)."""
+    return ssb.generate(scale_factor, data_scale=data_scale)
+
+
+@functools.lru_cache(maxsize=8)
+def tpch_database(scale_factor: float, data_scale: float = DATA_SCALE) -> Database:
+    """Cached TPC-H database (deterministic)."""
+    return tpch.generate(scale_factor, data_scale=data_scale)
+
+
+def _benchmark_workload(benchmark: str, scale_factor: float):
+    if benchmark == "ssb":
+        database = ssb_database(scale_factor)
+        return database, ssb.workload(database)
+    if benchmark == "tpch":
+        database = tpch_database(scale_factor)
+        return database, tpch.workload(database)
+    raise ValueError("unknown benchmark {!r}".format(benchmark))
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — query execution strategies on SSB Q3.3
+# ---------------------------------------------------------------------------
+
+def figure01(scale_factor: float = 20, repetitions: int = 5) -> ExperimentResult:
+    """CPU vs. GPU (cold cache) vs. GPU (hot cache) for SSB Q3.3."""
+    database = ssb_database(scale_factor)
+    queries = ssb.workload(database, ["Q3.3"])
+    result = ExperimentResult(
+        "Figure 1: SSB Q3.3 execution strategies (SF {})".format(scale_factor),
+        notes="GPU with cold cache is slower than the CPU; hot cache wins.",
+    )
+    cases = [
+        ("cpu", "cpu_only", False),
+        ("gpu (cold cache)", "gpu_only", False),
+        ("gpu (hot cache)", "gpu_only", True),
+    ]
+    for label, strategy, warm in cases:
+        run = run_workload(
+            database, queries, strategy, config=FULL_CONFIG,
+            repetitions=repetitions, warm_cache=warm,
+        )
+        result.add(
+            strategy=label,
+            seconds=run.metrics.mean_latency("Q3.3"),
+            h2d_seconds=run.metrics.cpu_to_gpu_seconds / repetitions,
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 2, 5, 6 — serial selection workload vs. GPU buffer size
+# ---------------------------------------------------------------------------
+
+def buffer_size_sweep(
+    strategies: Sequence[str] = ("gpu_only", "data_driven"),
+    buffer_gib: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 1.75, 2.0, 2.25, 2.5),
+    scale_factor: float = 10,
+    repetitions: int = 10,
+    title: str = "Serial selection workload vs. GPU buffer size",
+) -> ExperimentResult:
+    """The cache-thrashing micro benchmark (Appendix B.1).
+
+    The working set is eight lineorder columns (1.9 GB at SF 10);
+    operator-driven placement thrashes whenever the buffer is smaller.
+    """
+    database = ssb_database(scale_factor)
+    queries = micro.serial_selection_workload(database)
+    result = ExperimentResult(title)
+    for strategy in strategies:
+        for gib in buffer_gib:
+            config = SystemConfig(
+                gpu_memory_bytes=4 * GIB,
+                gpu_cache_bytes=int(gib * GIB),
+            )
+            run = run_workload(
+                database, queries, strategy, config=config,
+                repetitions=repetitions,
+            )
+            result.add(
+                strategy=strategy,
+                buffer_gib=gib,
+                seconds=run.seconds,
+                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
+                d2h_seconds=run.metrics.gpu_to_cpu_seconds,
+                cache_hit_rate=run.metrics.cache_hit_rate,
+                aborts=run.metrics.aborts,
+            )
+    return result
+
+
+def figure02(**kwargs) -> ExperimentResult:
+    """Cache thrashing: operator-driven placement only (Fig. 2)."""
+    kwargs.setdefault("strategies", ("gpu_only",))
+    kwargs.setdefault(
+        "title",
+        "Figure 2: selection workload, operator-driven placement "
+        "(cache thrashing)",
+    )
+    return buffer_size_sweep(**kwargs)
+
+
+def figure05(**kwargs) -> ExperimentResult:
+    """Data-driven placement avoids the degradation (Fig. 5)."""
+    kwargs.setdefault("strategies", ("gpu_only", "data_driven"))
+    kwargs.setdefault(
+        "title", "Figure 5: selection workload, data-driven vs operator-driven"
+    )
+    return buffer_size_sweep(**kwargs)
+
+
+def figure06(**kwargs) -> ExperimentResult:
+    """Transfer time view of the same sweep (Fig. 6)."""
+    kwargs.setdefault(
+        "title", "Figure 6: data transfer time in the selection workload"
+    )
+    return buffer_size_sweep(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Figures 3, 7, 9, 12, 13 — parallel selection workload vs. #users
+# ---------------------------------------------------------------------------
+
+def micro_users_sweep(
+    strategies: Sequence[str] = ("gpu_only",),
+    users: Sequence[int] = (1, 2, 4, 6, 7, 8, 10, 12, 16, 20),
+    scale_factor: float = 10,
+    total_queries: int = 100,
+    title: str = "Parallel selection workload vs. #users",
+) -> ExperimentResult:
+    """The heap-contention micro benchmark (Appendix B.2).
+
+    One query with a 744 MiB first-operator footprint; about seven fit
+    the ~5 GiB heap, so contention sets in beyond that.
+    """
+    database = ssb_database(scale_factor)
+    queries = micro.parallel_selection_workload(database)
+    result = ExperimentResult(title)
+    for strategy in strategies:
+        for n_users in users:
+            run = run_workload(
+                database, queries, strategy, config=MICRO_CONFIG,
+                users=n_users, repetitions=total_queries,
+            )
+            result.add(
+                strategy=strategy,
+                users=n_users,
+                seconds=run.seconds,
+                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
+                d2h_seconds=run.metrics.gpu_to_cpu_seconds,
+                aborts=run.metrics.aborts,
+                wasted_seconds=run.metrics.wasted_seconds,
+            )
+    return result
+
+
+def figure03(**kwargs) -> ExperimentResult:
+    kwargs.setdefault("strategies", ("gpu_only",))
+    kwargs.setdefault(
+        "title",
+        "Figure 3: parallel selection workload (heap contention, "
+        "operator-driven)",
+    )
+    return micro_users_sweep(**kwargs)
+
+
+def figure07(**kwargs) -> ExperimentResult:
+    kwargs.setdefault("strategies", ("gpu_only", "data_driven"))
+    kwargs.setdefault(
+        "title",
+        "Figure 7: Data-Driven does not solve heap contention",
+    )
+    return micro_users_sweep(**kwargs)
+
+
+def figure09(**kwargs) -> ExperimentResult:
+    kwargs.setdefault("strategies", ("gpu_only", "runtime"))
+    kwargs.setdefault(
+        "title",
+        "Figure 9: run-time placement improves but is not optimal",
+    )
+    return micro_users_sweep(**kwargs)
+
+
+def figure12(**kwargs) -> ExperimentResult:
+    kwargs.setdefault(
+        "strategies", ("gpu_only", "runtime", "chopping", "data_driven_chopping")
+    )
+    kwargs.setdefault(
+        "title", "Figure 12: Chopping achieves near-optimal performance"
+    )
+    return micro_users_sweep(**kwargs)
+
+
+def figure13(**kwargs) -> ExperimentResult:
+    kwargs.setdefault(
+        "strategies", ("gpu_only", "runtime", "chopping")
+    )
+    kwargs.setdefault(
+        "title", "Figure 13: operator aborts per strategy"
+    )
+    return micro_users_sweep(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Figures 14, 15, 16 — scaling the database size
+# ---------------------------------------------------------------------------
+
+#: The strategy set of Sec. 6.2.
+FULL_WORKLOAD_STRATEGIES = (
+    "cpu_only",
+    "gpu_only",
+    "critical_path",
+    "data_driven",
+    "chopping",
+    "data_driven_chopping",
+)
+
+
+def scale_factor_sweep(
+    benchmark: str = "ssb",
+    scale_factors: Sequence[float] = (5, 10, 15, 20, 30),
+    strategies: Sequence[str] = FULL_WORKLOAD_STRATEGIES,
+    repetitions: int = 2,
+    title: Optional[str] = None,
+) -> ExperimentResult:
+    """Workload time / transfer time / footprint vs. scale factor."""
+    result = ExperimentResult(
+        title or "Scale factor sweep ({})".format(benchmark)
+    )
+    for scale_factor in scale_factors:
+        database, queries = _benchmark_workload(benchmark, scale_factor)
+        footprint = workload_footprint_bytes(queries, database)
+        for strategy in strategies:
+            run = run_workload(
+                database, queries, strategy, config=FULL_CONFIG,
+                repetitions=repetitions,
+            )
+            result.add(
+                benchmark=benchmark,
+                scale_factor=scale_factor,
+                strategy=strategy,
+                seconds=run.seconds,
+                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
+                d2h_seconds=run.metrics.gpu_to_cpu_seconds,
+                aborts=run.metrics.aborts,
+                footprint_gib=footprint / GIB,
+            )
+    return result
+
+
+def figure14(benchmark: str = "ssb", **kwargs) -> ExperimentResult:
+    kwargs.setdefault(
+        "title",
+        "Figure 14: workload execution time vs. scale factor "
+        "({})".format(benchmark),
+    )
+    return scale_factor_sweep(benchmark, **kwargs)
+
+
+def figure15(benchmark: str = "ssb", **kwargs) -> ExperimentResult:
+    kwargs.setdefault(
+        "title",
+        "Figure 15: CPU->GPU transfer time vs. scale factor "
+        "({})".format(benchmark),
+    )
+    return scale_factor_sweep(benchmark, **kwargs)
+
+
+def figure16(
+    benchmarks: Sequence[str] = ("ssb", "tpch"),
+    scale_factors: Sequence[float] = (5, 10, 15, 20, 30),
+) -> ExperimentResult:
+    """Workload memory footprint vs. scale factor (no execution)."""
+    result = ExperimentResult(
+        "Figure 16: memory footprint of the workloads",
+        notes="The GPU data cache is {} GiB.".format(
+            FULL_CONFIG.gpu_cache_bytes / GIB
+        ),
+    )
+    for benchmark in benchmarks:
+        for scale_factor in scale_factors:
+            database, queries = _benchmark_workload(benchmark, scale_factor)
+            footprint = workload_footprint_bytes(queries, database)
+            result.add(
+                benchmark=benchmark,
+                scale_factor=scale_factor,
+                footprint_gib=footprint / GIB,
+                exceeds_cache=footprint > FULL_CONFIG.gpu_cache_bytes,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 17 — selected SSB queries at scale factor 30, single user
+# ---------------------------------------------------------------------------
+
+def query_latencies(
+    benchmark: str = "ssb",
+    scale_factor: float = 30,
+    strategies: Sequence[str] = (
+        "cpu_only", "gpu_only", "critical_path", "data_driven_chopping"
+    ),
+    users: int = 1,
+    repetitions: int = 3,
+    query_names: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> ExperimentResult:
+    """Mean per-query latency per strategy."""
+    database, queries = _benchmark_workload(benchmark, scale_factor)
+    if query_names is not None:
+        queries = [q for q in queries if q.name in set(query_names)]
+    result = ExperimentResult(
+        title
+        or "Per-query latencies ({}, SF {}, {} users)".format(
+            benchmark, scale_factor, users
+        )
+    )
+    for strategy in strategies:
+        run = run_workload(
+            database, queries, strategy, config=FULL_CONFIG,
+            users=users, repetitions=repetitions,
+        )
+        for name, latency in run.metrics.latencies_by_query().items():
+            result.add(
+                query=name, strategy=strategy, seconds=latency
+            )
+    return result
+
+
+def figure17(**kwargs) -> ExperimentResult:
+    kwargs.setdefault(
+        "title",
+        "Figure 17: SSB query execution times, single user, SF 30",
+    )
+    return query_latencies(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Figures 18, 19, 20 — scaling user parallelism on the full workloads
+# ---------------------------------------------------------------------------
+
+def benchmark_users_sweep(
+    benchmark: str = "ssb",
+    scale_factor: float = 10,
+    users: Sequence[int] = (1, 5, 10, 15, 20),
+    strategies: Sequence[str] = (
+        "gpu_only", "data_driven", "chopping", "data_driven_chopping"
+    ),
+    repetitions: int = 3,
+    title: Optional[str] = None,
+) -> ExperimentResult:
+    """Workload time, transfer time, aborts and wasted time vs. #users."""
+    database, queries = _benchmark_workload(benchmark, scale_factor)
+    result = ExperimentResult(
+        title
+        or "User parallelism sweep ({}, SF {})".format(benchmark, scale_factor)
+    )
+    for strategy in strategies:
+        for n_users in users:
+            run = run_workload(
+                database, queries, strategy, config=FULL_CONFIG,
+                users=n_users, repetitions=repetitions,
+            )
+            result.add(
+                benchmark=benchmark,
+                strategy=strategy,
+                users=n_users,
+                seconds=run.seconds,
+                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
+                d2h_seconds=run.metrics.gpu_to_cpu_seconds,
+                aborts=run.metrics.aborts,
+                wasted_seconds=run.metrics.wasted_seconds,
+            )
+    return result
+
+
+def figure18(benchmark: str = "ssb", **kwargs) -> ExperimentResult:
+    kwargs.setdefault(
+        "title",
+        "Figure 18: workload execution time vs. #users ({})".format(benchmark),
+    )
+    return benchmark_users_sweep(benchmark, **kwargs)
+
+
+def figure19(benchmark: str = "ssb", **kwargs) -> ExperimentResult:
+    kwargs.setdefault(
+        "title",
+        "Figure 19: CPU->GPU transfer time vs. #users ({})".format(benchmark),
+    )
+    return benchmark_users_sweep(benchmark, **kwargs)
+
+
+def figure20(**kwargs) -> ExperimentResult:
+    kwargs.setdefault(
+        "title", "Figure 20: wasted time of aborted GPU operators (SSB)"
+    )
+    return benchmark_users_sweep("ssb", **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Figure 21 / 25 — query latencies under parallel users
+# ---------------------------------------------------------------------------
+
+def figure21(**kwargs) -> ExperimentResult:
+    kwargs.setdefault("scale_factor", 10)
+    kwargs.setdefault("users", 20)
+    kwargs.setdefault(
+        "strategies",
+        ("gpu_only", "admission_control", "chopping", "data_driven_chopping"),
+    )
+    kwargs.setdefault(
+        "title", "Figure 21: SSB query latencies, 20 users, SF 10"
+    )
+    return query_latencies(**kwargs)
+
+
+def figure25(
+    users: Sequence[int] = (1, 5, 10, 20),
+    strategies: Sequence[str] = (
+        "gpu_only", "admission_control", "chopping", "data_driven_chopping"
+    ),
+    scale_factor: float = 10,
+    repetitions: int = 2,
+) -> ExperimentResult:
+    """Latencies of all SSB queries for a varying number of users."""
+    database, queries = _benchmark_workload("ssb", scale_factor)
+    result = ExperimentResult(
+        "Figure 25: SSB query latencies vs. #users (SF {})".format(scale_factor)
+    )
+    for strategy in strategies:
+        for n_users in users:
+            run = run_workload(
+                database, queries, strategy, config=FULL_CONFIG,
+                users=n_users, repetitions=repetitions,
+            )
+            for name, latency in run.metrics.latencies_by_query().items():
+                result.add(
+                    query=name, strategy=strategy, users=n_users,
+                    seconds=latency,
+                )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 22, 23 — engine comparison (CoGaDB vs. Ocelot profile)
+# ---------------------------------------------------------------------------
+
+def engine_comparison(
+    benchmark: str,
+    scale_factor: float = 10,
+    repetitions: int = 3,
+    title: Optional[str] = None,
+) -> ExperimentResult:
+    """Per-query CPU and GPU backend latencies for both engine profiles.
+
+    Substitution (DESIGN.md §2): Ocelot is modelled as a second
+    calibration profile on the same simulated hardware.
+    """
+    result = ExperimentResult(
+        title
+        or "Engine comparison on {} (SF {})".format(benchmark, scale_factor),
+        notes="Configuration without thrashing or contention (App. A): "
+              "a device large enough to hold the working set.",
+    )
+    # The appendix explicitly measures raw query-processing power in a
+    # configuration where neither cache thrashing nor heap contention
+    # occurs — model that with a roomy device.
+    roomy = SystemConfig(gpu_memory_bytes=8 * GIB, gpu_cache_bytes=5 * GIB)
+    for profile in (COGADB_PROFILE, OCELOT_PROFILE):
+        database, queries = _benchmark_workload(benchmark, scale_factor)
+        config = roomy.with_profile(profile)
+        for backend, strategy in (("cpu", "cpu_only"), ("gpu", "gpu_only")):
+            run = run_workload(
+                database, queries, strategy, config=config,
+                repetitions=repetitions,
+            )
+            for name, latency in run.metrics.latencies_by_query().items():
+                result.add(
+                    query=name,
+                    engine=profile.name,
+                    backend=backend,
+                    seconds=latency,
+                )
+    return result
+
+
+def figure22(**kwargs) -> ExperimentResult:
+    kwargs.setdefault(
+        "title", "Figure 22: TPC-H per-query times, CoGaDB vs Ocelot profile"
+    )
+    return engine_comparison("tpch", **kwargs)
+
+
+def figure23(**kwargs) -> ExperimentResult:
+    kwargs.setdefault(
+        "title", "Figure 23: SSB per-query times, CoGaDB vs Ocelot profile"
+    )
+    return engine_comparison("ssb", **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Extension: multiple co-processors (Sec. 6.3 scale-up discussion)
+# ---------------------------------------------------------------------------
+
+def multi_gpu_scaling(
+    benchmark: str = "ssb",
+    scale_factor: float = 30,
+    gpu_counts: Sequence[int] = (1, 2, 4),
+    strategies: Sequence[str] = ("data_driven_chopping", "chopping"),
+    users: int = 10,
+    repetitions: int = 2,
+) -> ExperimentResult:
+    """Scale-up with several co-processors.
+
+    Sec. 6.3: "it is common to use multiple GPUs in a single machine,
+    which can handle larger databases and more parallel users...  Our
+    Data-Driven strategy can support multiple co-processors by
+    performing horizontal partitioning."  The placement manager
+    partitions the hot columns across the devices; data-driven chopping
+    sends each operator to the device holding its inputs.
+    """
+    database, queries = _benchmark_workload(benchmark, scale_factor)
+    result = ExperimentResult(
+        "Extension: multi-GPU scale-up ({}, SF {}, {} users)".format(
+            benchmark, scale_factor, users
+        )
+    )
+    for strategy in strategies:
+        for gpu_count in gpu_counts:
+            config = SystemConfig(
+                gpu_count=gpu_count,
+                gpu_memory_bytes=FULL_CONFIG.gpu_memory_bytes,
+                gpu_cache_bytes=FULL_CONFIG.gpu_cache_bytes,
+            )
+            run = run_workload(
+                database, queries, strategy, config=config,
+                users=users, repetitions=repetitions,
+            )
+            gpu_ops = sum(
+                count
+                for name, count in run.metrics.operators_per_processor.items()
+                if name != "cpu"
+            )
+            result.add(
+                strategy=strategy,
+                gpus=gpu_count,
+                seconds=run.seconds,
+                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
+                aborts=run.metrics.aborts,
+                gpu_operators=gpu_ops,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 24 — LFU vs. LRU data placement
+# ---------------------------------------------------------------------------
+
+def figure24(
+    fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    policies: Sequence[str] = ("lru", "lfu"),
+    scale_factor: float = 10,
+    repetitions: int = 2,
+) -> ExperimentResult:
+    """SSB workload under Data-Driven with varying cache fraction.
+
+    The fraction scales a 3.5 GiB budget so at least 0.5 GiB of heap
+    remains for operator intermediates.
+    """
+    database, queries = _benchmark_workload("ssb", scale_factor)
+    budget = 3.0 * GIB
+    result = ExperimentResult(
+        "Figure 24: LFU vs LRU data placement (SSB, SF {})".format(scale_factor)
+    )
+    for policy in policies:
+        for fraction in fractions:
+            config = SystemConfig(
+                gpu_memory_bytes=4 * GIB,
+                gpu_cache_bytes=int(fraction * budget),
+            )
+            run = run_workload(
+                database, queries, "data_driven", config=config,
+                repetitions=repetitions, placement_policy=policy,
+            )
+            result.add(
+                policy=policy,
+                cache_fraction=fraction,
+                seconds=run.seconds,
+                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
+            )
+    return result

@@ -1,0 +1,234 @@
+"""Run a workload under one strategy on the simulated platform.
+
+Mirrors the paper's methodology (Sec. 6.1): the database is pre-loaded
+in host memory, access structures are pre-loaded into the GPU buffer
+until it is full (the warm-up runs), then the workload executes and we
+measure the makespan, per-query latencies, PCIe transfer times, aborts,
+and wasted time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core import ChoppingExecutor, DataPlacementManager, get_strategy
+from repro.core.placement.base import PlacementStrategy
+from repro.engine.execution import (
+    ExecutionContext,
+    VectorizedExecutor,
+    execute_functional,
+    run_plan_eager,
+)
+from repro.hardware import HardwareSystem, SystemConfig
+from repro.metrics import ExecutionTrace, MetricsCollector
+from repro.sim import Environment, Resource
+from repro.storage import Database
+from repro.workloads.base import WorkloadQuery
+
+
+@dataclass
+class WorkloadResult:
+    """Everything one workload run produced."""
+
+    metrics: MetricsCollector
+    #: last result payload per query name (for validation)
+    results: Dict[str, object]
+    strategy: str
+    users: int
+    #: per-operator timeline; populated when run with ``trace=True``
+    trace: Optional["ExecutionTrace"] = None
+
+    @property
+    def seconds(self) -> float:
+        return self.metrics.workload_seconds
+
+
+def run_workload(
+    database: Database,
+    queries: List[WorkloadQuery],
+    strategy: str,
+    config: Optional[SystemConfig] = None,
+    users: int = 1,
+    repetitions: int = 1,
+    warm_cache: bool = True,
+    placement_policy: str = "lfu",
+    cpu_workers: int = 4,
+    gpu_workers: int = 2,
+    scheduling: str = "fifo",
+    processing_model: str = "operator",
+    collect_results: bool = False,
+    trace: bool = False,
+    validate: bool = False,
+    algorithm_selection: bool = True,
+) -> WorkloadResult:
+    """Execute ``queries`` x ``repetitions`` with ``users`` parallel
+    sessions under the named placement strategy.
+
+    The total amount of work is fixed; ``users`` only changes how many
+    sessions issue it concurrently (the paper's Sec. 6.2.2 setup).
+
+    With ``validate=True`` every SQL query's simulated result is
+    cross-checked against the naive reference evaluator after the run;
+    a mismatch raises :class:`ValidationError`.
+    """
+    if users < 1 or repetitions < 1:
+        raise ValueError("users and repetitions must be >= 1")
+    config = config if config is not None else SystemConfig()
+    env = Environment()
+    metrics = MetricsCollector()
+    hardware = HardwareSystem(env, config, metrics)
+    hardware.gpu_cache.policy = placement_policy
+    ctx = ExecutionContext(hardware, database)
+    ctx.algorithm_selection = algorithm_selection
+    if trace:
+        ctx.trace = ExecutionTrace()
+    strategy_obj: PlacementStrategy = get_strategy(strategy)
+
+    # -- warm-up: statistics, functional memoisation, cache pre-load ----
+    database.statistics.reset()
+    for query in queries:
+        execute_functional(query.template_plan(), database)
+    placement = DataPlacementManager(
+        database,
+        caches=[device.cache for device in hardware.gpus],
+        policy=placement_policy,
+    )
+    if warm_cache:
+        placement.apply_placement()
+        if not strategy_obj.uses_data_placement:
+            # Operator-driven data placement: the warm content is a
+            # starting point, not pinned — operators insert and evict.
+            for device in hardware.gpus:
+                for key in device.cache.keys:
+                    device.cache.unpin(key)
+    elif strategy_obj.uses_data_placement:
+        # Data-driven placement needs the manager even for a cold
+        # start; an empty cache simply keeps every operator on the CPU.
+        placement.apply_placement()
+
+    # -- partition the fixed workload over the user sessions -----------
+    all_runs: List[WorkloadQuery] = [
+        query for _ in range(repetitions) for query in queries
+    ]
+    sessions = [all_runs[i::users] for i in range(users)]
+
+    if processing_model not in ("operator", "vectorized"):
+        raise ValueError(
+            "processing_model must be 'operator' or 'vectorized'"
+        )
+    chopper = None
+    vectorizer = None
+    if processing_model == "vectorized":
+        # vector-at-a-time (Sec. 5.5): pipelines replace the
+        # operator-at-a-time executors entirely
+        vectorizer = VectorizedExecutor(ctx, strategy_obj)
+    elif strategy_obj.executor == "chopping":
+        chopper = ChoppingExecutor(
+            ctx, strategy_obj, cpu_workers=cpu_workers,
+            gpu_workers=gpu_workers, scheduling=scheduling,
+        )
+    admission = None
+    if strategy_obj.admission_limit is not None:
+        admission = Resource(env, capacity=strategy_obj.admission_limit)
+
+    if validate:
+        collect_results = True
+    results: Dict[str, object] = {}
+
+    def session(user_id: int, runs: List[WorkloadQuery]):
+        for query in runs:
+            # Latency is the response time from submission: time spent
+            # queueing behind an admission control gate counts (that is
+            # exactly the cost the paper attributes to it, Sec. 6.2.2).
+            start = env.now
+            if admission is not None:
+                request = admission.request()
+                yield request
+            plan = query.instantiate()
+            strategy_obj.prepare_plan(ctx, plan)
+            if vectorizer is not None:
+                result = yield vectorizer.submit(plan)
+            elif chopper is not None:
+                result = yield chopper.submit(plan)
+            else:
+                result = yield run_plan_eager(ctx, plan, strategy_obj)
+            metrics.record_query(query.name, user_id, start, env.now)
+            if admission is not None:
+                admission.release(request)
+            if collect_results:
+                results[query.name] = result.payload
+
+    for user_id, runs in enumerate(sessions):
+        if runs:
+            env.process(session(user_id, runs))
+    env.run()
+    metrics.workload_seconds = env.now
+    if validate:
+        validate_results(database, queries, results)
+    return WorkloadResult(
+        metrics=metrics, results=results, strategy=strategy, users=users,
+        trace=ctx.trace,
+    )
+
+
+class ValidationError(AssertionError):
+    """A simulated query result disagreed with the reference evaluator."""
+
+
+def validate_results(database: Database, queries: List[WorkloadQuery],
+                     results: Dict[str, object]) -> None:
+    """Cross-check collected payloads against the reference evaluator.
+
+    Placement, caching, aborts, and fallbacks may change timing — never
+    the answer.  Hand-built plans (no SQL) are skipped.
+    """
+    import math
+
+    from repro.engine import execute_reference
+
+    for query in queries:
+        if query.spec is None or query.name not in results:
+            continue
+        got = sorted(map(_canonical_row, results[query.name].row_tuples()))
+        want = sorted(
+            map(_canonical_row, execute_reference(query.spec, database))
+        )
+        if len(got) != len(want):
+            raise ValidationError(
+                "{}: {} rows simulated vs {} rows reference".format(
+                    query.name, len(got), len(want)
+                )
+            )
+        for got_row, want_row in zip(got, want):
+            for a, b in zip(got_row, want_row):
+                if isinstance(a, float) or isinstance(b, float):
+                    if not math.isclose(float(a), float(b), rel_tol=1e-9,
+                                        abs_tol=1e-9):
+                        raise ValidationError(
+                            "{}: {} != {}".format(query.name, got_row,
+                                                  want_row)
+                        )
+                elif a != b:
+                    raise ValidationError(
+                        "{}: {} != {}".format(query.name, got_row, want_row)
+                    )
+
+
+def _canonical_row(row):
+    return tuple(
+        value if isinstance(value, str) else (
+            float(value) if isinstance(value, float) else int(value)
+        )
+        for value in row
+    )
+
+
+def workload_footprint_bytes(queries: List[WorkloadQuery],
+                             database: Database) -> int:
+    """Paper-scale memory footprint of a workload (Fig. 16): the total
+    size of every base column the workload touches."""
+    keys = set()
+    for query in queries:
+        keys |= query.required_columns()
+    return sum(database.column(key).nominal_bytes for key in keys)

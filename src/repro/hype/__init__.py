@@ -1,0 +1,27 @@
+"""HyPE: the hardware-oblivious tactical optimizer.
+
+CoGaDB delegates operator placement and algorithm selection to HyPE
+(Sec. 2.5), which learns cost models from observed executions and
+balances load across processors by estimating the completion time of
+each processor's ready queue (Sec. 5.2).
+
+* :class:`ObservationStore` — (operator kind, processor) -> observed
+  (input bytes, runtime) pairs.
+* :class:`LearnedCostModel` — least-squares linear models refit as
+  observations arrive, with the analytical calibration profile as the
+  bootstrap fallback.
+* :class:`LoadTracker` — outstanding estimated seconds per processor.
+"""
+
+from repro.hype.observation import Observation, ObservationStore
+from repro.hype.models import LearnedCostModel
+from repro.hype.load import LoadTracker
+from repro.hype.algorithms import choose_algorithm
+
+__all__ = [
+    "LearnedCostModel",
+    "LoadTracker",
+    "Observation",
+    "ObservationStore",
+    "choose_algorithm",
+]

@@ -1,0 +1,37 @@
+"""Processor load tracking.
+
+"To balance the load between CPU and GPU, we keep track of the load on
+each processor by estimating the completion time of each processor's
+ready queue" (Sec. 5.2).  The tracker holds the sum of estimated
+runtimes of all operators assigned to but not yet finished on each
+processor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class LoadTracker:
+    """Outstanding estimated work per processor."""
+
+    def __init__(self):
+        self._outstanding: Dict[str, float] = {}
+
+    def assign(self, processor_name: str, estimated_seconds: float) -> None:
+        """An operator was queued on ``processor_name``."""
+        self._outstanding[processor_name] = (
+            self._outstanding.get(processor_name, 0.0) + estimated_seconds
+        )
+
+    def finish(self, processor_name: str, estimated_seconds: float) -> None:
+        """The operator completed (or moved elsewhere)."""
+        remaining = self._outstanding.get(processor_name, 0.0) - estimated_seconds
+        self._outstanding[processor_name] = max(remaining, 0.0)
+
+    def estimated_completion(self, processor_name: str) -> float:
+        """Estimated seconds until the ready queue drains."""
+        return self._outstanding.get(processor_name, 0.0)
+
+    def reset(self) -> None:
+        self._outstanding.clear()

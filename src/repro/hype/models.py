@@ -1,0 +1,78 @@
+"""Learned cost models.
+
+HyPE fits ``time = a + b * input_bytes`` per (operator kind, processor
+kind) by least squares over the observation history.  Before enough
+observations exist, estimates fall back to the analytical calibration
+profile — mirroring how HyPE bootstraps its learning-based models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.calibration import EngineProfile
+from repro.hardware.processor import ProcessorKind
+from repro.hype.observation import ObservationStore
+
+
+class LearnedCostModel:
+    """Per-operator-kind linear regression with analytical fallback."""
+
+    def __init__(
+        self,
+        profile: EngineProfile,
+        store: Optional[ObservationStore] = None,
+        min_observations: int = 8,
+        refit_interval: int = 16,
+    ):
+        self.profile = profile
+        self.store = store if store is not None else ObservationStore()
+        self.min_observations = min_observations
+        self.refit_interval = refit_interval
+        self._fits: Dict[Tuple[str, ProcessorKind], Tuple[float, float]] = {}
+        self._since_fit: Dict[Tuple[str, ProcessorKind], int] = {}
+
+    # -- learning -------------------------------------------------------
+
+    def observe(self, op_kind: str, processor_kind: ProcessorKind,
+                input_bytes: float, seconds: float) -> None:
+        """Record a measured execution and refit lazily."""
+        self.store.add(op_kind, processor_kind, input_bytes, seconds)
+        key = (op_kind, processor_kind)
+        self._since_fit[key] = self._since_fit.get(key, 0) + 1
+        if key not in self._fits or self._since_fit[key] >= self.refit_interval:
+            self._refit(key)
+
+    def _refit(self, key: Tuple[str, ProcessorKind]) -> None:
+        observations = self.store.get(*key)
+        if len(observations) < self.min_observations:
+            return
+        x = np.array([o.input_bytes for o in observations])
+        y = np.array([o.seconds for o in observations])
+        if np.ptp(x) == 0:
+            # Degenerate input sizes: constant model.
+            self._fits[key] = (float(y.mean()), 0.0)
+        else:
+            design = np.vstack([np.ones_like(x), x]).T
+            (a, b), *_ = np.linalg.lstsq(design, y, rcond=None)
+            self._fits[key] = (float(a), float(b))
+        self._since_fit[key] = 0
+
+    # -- estimation -------------------------------------------------------
+
+    def is_learned(self, op_kind: str, processor_kind: ProcessorKind) -> bool:
+        """True once a fitted model (not the fallback) is in use."""
+        return (op_kind, processor_kind) in self._fits
+
+    def estimate(self, op_kind: str, processor_kind: ProcessorKind,
+                 input_bytes: float) -> float:
+        """Estimated runtime; never negative."""
+        fit = self._fits.get((op_kind, processor_kind))
+        if fit is None:
+            return self.profile.compute_seconds(
+                op_kind, processor_kind, input_bytes
+            )
+        a, b = fit
+        return max(a + b * input_bytes, 0.0)

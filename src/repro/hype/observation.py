@@ -1,0 +1,47 @@
+"""Runtime observations feeding the learned cost models."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.hardware.processor import ProcessorKind
+
+
+class Observation(NamedTuple):
+    """One measured operator execution."""
+
+    input_bytes: float
+    seconds: float
+
+
+class ObservationStore:
+    """Bounded per-(operator kind, processor kind) observation history."""
+
+    def __init__(self, max_observations_per_key: int = 512):
+        self._max = max_observations_per_key
+        self._data: Dict[Tuple[str, ProcessorKind], List[Observation]] = (
+            defaultdict(list)
+        )
+
+    def add(self, op_kind: str, processor_kind: ProcessorKind,
+            input_bytes: float, seconds: float) -> None:
+        """Record one execution."""
+        observations = self._data[(op_kind, processor_kind)]
+        observations.append(Observation(float(input_bytes), float(seconds)))
+        if len(observations) > self._max:
+            # Keep the most recent window (workload drift).
+            del observations[: len(observations) - self._max]
+
+    def get(self, op_kind: str,
+            processor_kind: ProcessorKind) -> List[Observation]:
+        return self._data.get((op_kind, processor_kind), [])
+
+    def count(self, op_kind: str, processor_kind: ProcessorKind) -> int:
+        return len(self.get(op_kind, processor_kind))
+
+    def keys(self):
+        return list(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

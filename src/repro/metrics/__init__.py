@@ -1,0 +1,6 @@
+"""Measurement infrastructure for experiments."""
+
+from repro.metrics.collector import MetricsCollector, QueryRecord
+from repro.metrics.trace import ExecutionTrace, TraceEvent
+
+__all__ = ["ExecutionTrace", "MetricsCollector", "QueryRecord", "TraceEvent"]

@@ -1,0 +1,181 @@
+"""Collects the measurements the paper reports.
+
+One :class:`MetricsCollector` instance accompanies one workload run and
+records everything Figures 1–25 need:
+
+* per-query latencies,
+* PCIe transfer time and volume per direction,
+* operator abort counts and the *wasted time* metric (Sec. 6.2.2:
+  time from operator begin to abort, accumulated),
+* per-processor operator execution counts and busy time,
+* peak device heap usage and cache hit statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class QueryRecord:
+    """Latency record for one executed query."""
+
+    name: str
+    user: int
+    start: float
+    end: float
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates measurements during one simulated workload run."""
+
+    #: seconds spent copying host -> device, and bytes moved
+    cpu_to_gpu_seconds: float = 0.0
+    cpu_to_gpu_bytes: int = 0
+    #: seconds spent copying device -> host, and bytes moved
+    gpu_to_cpu_seconds: float = 0.0
+    gpu_to_cpu_bytes: int = 0
+    #: number of operators that aborted on the co-processor
+    aborts: int = 0
+    #: accumulated time from operator begin to abort (paper's metric)
+    wasted_seconds: float = 0.0
+    #: cache behaviour
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    #: operator counts per processor name
+    operators_per_processor: Counter = field(default_factory=Counter)
+    #: executions per selected algorithm (HyPE's algorithm selection)
+    algorithms: Counter = field(default_factory=Counter)
+    #: busy seconds per processor name
+    busy_seconds: Dict[str, float] = field(default_factory=dict)
+    #: peak bytes allocated on the device heap
+    peak_heap_bytes: int = 0
+    #: per-query latency records
+    queries: List[QueryRecord] = field(default_factory=list)
+    #: makespan of the run (set by the harness)
+    workload_seconds: float = 0.0
+
+    # -- recording hooks ---------------------------------------------
+
+    def record_transfer(self, direction: str, nbytes: int, seconds: float) -> None:
+        """Record one PCIe transfer; direction is 'h2d' or 'd2h'."""
+        if direction == "h2d":
+            self.cpu_to_gpu_seconds += seconds
+            self.cpu_to_gpu_bytes += nbytes
+        elif direction == "d2h":
+            self.gpu_to_cpu_seconds += seconds
+            self.gpu_to_cpu_bytes += nbytes
+        else:
+            raise ValueError("unknown transfer direction {!r}".format(direction))
+
+    def record_abort(self, wasted_seconds: float) -> None:
+        """Record a co-processor operator abort and its wasted time."""
+        self.aborts += 1
+        self.wasted_seconds += wasted_seconds
+
+    def record_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        self.cache_misses += 1
+
+    def record_cache_eviction(self) -> None:
+        self.cache_evictions += 1
+
+    def record_operator(self, processor_name: str, busy_seconds: float) -> None:
+        """Record one completed operator execution."""
+        self.operators_per_processor[processor_name] += 1
+        self.busy_seconds[processor_name] = (
+            self.busy_seconds.get(processor_name, 0.0) + busy_seconds
+        )
+
+    def record_algorithm(self, cost_key: str) -> None:
+        """Record the algorithm HyPE selected for one execution."""
+        self.algorithms[cost_key] += 1
+
+    def record_heap_usage(self, used_bytes: int) -> None:
+        if used_bytes > self.peak_heap_bytes:
+            self.peak_heap_bytes = used_bytes
+
+    def record_query(self, name: str, user: int, start: float, end: float) -> None:
+        self.queries.append(QueryRecord(name=name, user=user, start=start, end=end))
+
+    # -- derived views -----------------------------------------------
+
+    @property
+    def transfer_seconds(self) -> float:
+        """Total PCIe time in both directions."""
+        return self.cpu_to_gpu_seconds + self.gpu_to_cpu_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    def mean_latency(self, query_name: Optional[str] = None) -> float:
+        """Mean latency over all queries (optionally one query name)."""
+        records = [
+            q for q in self.queries if query_name is None or q.name == query_name
+        ]
+        if not records:
+            return 0.0
+        return sum(q.latency for q in records) / len(records)
+
+    def latencies_by_query(self) -> Dict[str, float]:
+        """Mean latency keyed by query name."""
+        names = sorted({q.name for q in self.queries})
+        return {name: self.mean_latency(name) for name in names}
+
+    def latency_percentile(self, fraction: float,
+                           query_name: Optional[str] = None) -> float:
+        """Latency percentile over all (or one query's) executions.
+
+        ``fraction`` in [0, 1]; uses the nearest-rank method, so the
+        returned value is always an observed latency.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be in [0, 1]")
+        latencies = sorted(
+            q.latency for q in self.queries
+            if query_name is None or q.name == query_name
+        )
+        if not latencies:
+            return 0.0
+        rank = min(int(fraction * len(latencies)), len(latencies) - 1)
+        return latencies[rank]
+
+    def tail_latency_report(self) -> Dict[str, Dict[str, float]]:
+        """p50/p95/p99 per query — the robustness view the paper's
+        worst-case-execution-time goal implies."""
+        report: Dict[str, Dict[str, float]] = {}
+        for name in sorted({q.name for q in self.queries}):
+            report[name] = {
+                "p50": self.latency_percentile(0.50, name),
+                "p95": self.latency_percentile(0.95, name),
+                "p99": self.latency_percentile(0.99, name),
+            }
+        return report
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary used by the harness table printers."""
+        return {
+            "workload_seconds": self.workload_seconds,
+            "cpu_to_gpu_seconds": self.cpu_to_gpu_seconds,
+            "gpu_to_cpu_seconds": self.gpu_to_cpu_seconds,
+            "cpu_to_gpu_gib": self.cpu_to_gpu_bytes / float(1 << 30),
+            "gpu_to_cpu_gib": self.gpu_to_cpu_bytes / float(1 << 30),
+            "aborts": float(self.aborts),
+            "wasted_seconds": self.wasted_seconds,
+            "cache_hit_rate": self.cache_hit_rate,
+            "peak_heap_gib": self.peak_heap_bytes / float(1 << 30),
+        }

@@ -1,0 +1,122 @@
+"""Execution tracing: a per-operator timeline of a simulated run.
+
+Tracing is opt-in (it records one event per operator execution) and
+feeds two views:
+
+* :meth:`ExecutionTrace.timeline_text` — an ASCII Gantt chart per
+  processor, handy to *see* thrashing, contention, and fallbacks;
+* :meth:`ExecutionTrace.summary` — aggregate busy time per processor
+  and per operator kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One operator execution (or abort attempt)."""
+
+    label: str
+    kind: str
+    processor: str
+    query: str
+    start: float
+    end: float
+    aborted: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Recorded operator timeline of one workload run."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, label: str, kind: str, processor: str, query: str,
+               start: float, end: float, aborted: bool = False) -> None:
+        self.events.append(
+            TraceEvent(label, kind, processor, query, start, end, aborted)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- views ----------------------------------------------------------
+
+    def processors(self) -> List[str]:
+        names = sorted({e.processor for e in self.events})
+        # host first, then the co-processors
+        return sorted(names, key=lambda n: (n != "cpu", n))
+
+    def busy_seconds(self) -> Dict[str, float]:
+        """Total traced execution time per processor."""
+        totals: Dict[str, float] = {}
+        for event in self.events:
+            totals[event.processor] = (
+                totals.get(event.processor, 0.0) + event.duration
+            )
+        return totals
+
+    def aborted_events(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.aborted]
+
+    def summary(self) -> str:
+        """Aggregate text summary (busy time, slowest operators)."""
+        lines = ["trace: {} operator executions".format(len(self.events))]
+        for processor, busy in sorted(self.busy_seconds().items()):
+            count = sum(1 for e in self.events if e.processor == processor)
+            lines.append(
+                "  {:6s} {:6d} ops, {:.4f}s busy".format(
+                    processor, count, busy
+                )
+            )
+        aborted = self.aborted_events()
+        if aborted:
+            wasted = sum(e.duration for e in aborted)
+            lines.append(
+                "  {} aborted attempts, {:.4f}s wasted".format(
+                    len(aborted), wasted
+                )
+            )
+        slowest = sorted(self.events, key=lambda e: -e.duration)[:5]
+        if slowest:
+            lines.append("  slowest operators:")
+            for event in slowest:
+                lines.append(
+                    "    {:.4f}s {} [{}] ({})".format(
+                        event.duration, event.label, event.processor,
+                        event.query,
+                    )
+                )
+        return "\n".join(lines)
+
+    def timeline_text(self, width: int = 78) -> str:
+        """ASCII Gantt chart: one row per processor.
+
+        ``#`` marks executed work, ``x`` marks aborted attempts.
+        """
+        if not self.events:
+            return "(empty trace)"
+        t0 = min(e.start for e in self.events)
+        t1 = max(e.end for e in self.events)
+        span = max(t1 - t0, 1e-12)
+        lines = ["timeline {:.4f}s .. {:.4f}s".format(t0, t1)]
+        for processor in self.processors():
+            row = [" "] * width
+            for event in self.events:
+                if event.processor != processor:
+                    continue
+                lo = int((event.start - t0) / span * (width - 1))
+                hi = max(int((event.end - t0) / span * (width - 1)), lo)
+                mark = "x" if event.aborted else "#"
+                for i in range(lo, hi + 1):
+                    if row[i] != "x":  # aborts stay visible
+                        row[i] = mark
+            lines.append("{:>6s} |{}|".format(processor, "".join(row)))
+        return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Shared resources for DES processes.
+
+:class:`Resource` models anything with a bounded number of slots — a
+processor's kernel slots, a worker pool, the PCIe bus.  :class:`Store`
+models an unbounded FIFO queue of items with blocking consumers — the
+ready queues of the query-chopping executor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """A pending acquisition of one resource slot.
+
+    The request event succeeds once the slot is granted.  It must be
+    passed back to :meth:`Resource.release` exactly once.
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.granted = False
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue."""
+
+    def __init__(self, env, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got {}".format(capacity))
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently granted."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot.  Yield the returned event to wait for it."""
+        req = Request(self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.granted = True
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        if not request.granted:
+            # Never granted: remove from the wait queue (cancellation).
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                raise RuntimeError("releasing a request that was never issued")
+            return
+        request.granted = False
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            nxt.granted = True
+            nxt.succeed(nxt)
+        else:
+            self._in_use -= 1
+
+
+class PriorityStore:
+    """An unbounded store delivering the lowest-priority item first.
+
+    Ties break in insertion order, so it degenerates to a FIFO when all
+    priorities are equal.  Used by the query-chopping executor's
+    shortest-job-first ready-queue variant.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._heap: List = []
+        self._seq = 0
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of queued items in delivery order."""
+        import heapq
+
+        return [item for _, _, item in sorted(self._heap)]
+
+    def put(self, item: Any, priority: float = 0.0) -> None:
+        """Queue ``item``; wakes the oldest waiting consumer, if any."""
+        import heapq
+
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            return
+        self._seq += 1
+        heapq.heappush(self._heap, (priority, self._seq, item))
+
+    def get(self) -> Event:
+        """Event that succeeds with the lowest-priority item."""
+        import heapq
+
+        event = Event(self.env)
+        if self._heap:
+            _, _, item = heapq.heappop(self._heap)
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Store:
+    """An unbounded FIFO store with blocking ``get``."""
+
+    def __init__(self, env):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of the queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any, priority: float = 0.0) -> None:
+        """Add ``item``; wakes the oldest waiting consumer, if any.
+
+        ``priority`` is accepted (and ignored) so FIFO and priority
+        stores are call-compatible.
+        """
+        del priority
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that succeeds with the next item (FIFO)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,17 @@
+"""A small SQL front end.
+
+Supports the subset the paper's workloads need (SSBM Q1.1-Q4.3,
+modified TPC-H Q2-Q7, and the micro-benchmark selections of
+Appendix B):
+
+``SELECT`` lists with expressions and aggregates, multi-table ``FROM``
+with implicit join predicates in ``WHERE``, conjunctive/disjunctive
+predicates with comparisons, ``BETWEEN``, ``IN``, ``GROUP BY``,
+``ORDER BY`` and ``LIMIT``.
+"""
+
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+from repro.sql.binder import QuerySpec, bind
+
+__all__ = ["QuerySpec", "Token", "bind", "parse", "tokenize"]

@@ -1,0 +1,123 @@
+"""Unbound parse-tree nodes produced by the parser.
+
+Binding (resolving column names against the catalog and producing
+engine :class:`~repro.engine.expressions.Expression` objects) happens
+in :mod:`repro.sql.binder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass
+class ParsedColumn:
+    """A possibly-qualified column reference."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.table:
+            return "{}.{}".format(self.table, self.name)
+        return self.name
+
+
+@dataclass
+class ParsedLiteral:
+    """A number or string constant."""
+
+    value: Union[int, float, str]
+
+
+@dataclass
+class ParsedArith:
+    """Binary arithmetic."""
+
+    op: str
+    left: "ParsedExpr"
+    right: "ParsedExpr"
+
+
+ParsedExpr = Union[ParsedColumn, ParsedLiteral, ParsedArith]
+
+
+@dataclass
+class ParsedComparison:
+    op: str
+    left: ParsedExpr
+    right: ParsedExpr
+
+
+@dataclass
+class ParsedBetween:
+    expr: ParsedExpr
+    low: ParsedExpr
+    high: ParsedExpr
+
+
+@dataclass
+class ParsedIn:
+    expr: ParsedExpr
+    values: List[Union[int, float, str]]
+    negated: bool = False
+
+
+@dataclass
+class ParsedAnd:
+    children: List["ParsedPredicate"]
+
+
+@dataclass
+class ParsedOr:
+    children: List["ParsedPredicate"]
+
+
+@dataclass
+class ParsedNot:
+    child: "ParsedPredicate"
+
+
+ParsedPredicate = Union[ParsedComparison, ParsedBetween, ParsedIn,
+                        ParsedAnd, ParsedOr, ParsedNot]
+
+
+@dataclass
+class ParsedAggregate:
+    """``func(expr)``; ``expr`` is None for ``count(*)``."""
+
+    func: str
+    expr: Optional[ParsedExpr]
+
+
+@dataclass
+class SelectItem:
+    """One entry of the SELECT list."""
+
+    expr: Union[ParsedExpr, ParsedAggregate, None]  # None means '*'
+    alias: Optional[str] = None
+
+    @property
+    def is_star(self) -> bool:
+        return self.expr is None
+
+
+@dataclass
+class OrderItem:
+    column: ParsedColumn
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement:
+    """A parsed (unbound) SELECT."""
+
+    items: List[SelectItem]
+    tables: List[str]
+    where: Optional[ParsedPredicate] = None
+    group_by: List[ParsedColumn] = field(default_factory=list)
+    having: Optional[ParsedPredicate] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False

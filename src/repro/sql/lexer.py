@@ -1,0 +1,83 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+KEYWORDS = {
+    "select", "from", "where", "group", "order", "by", "having",
+    "and", "or", "not", "between", "in", "as", "asc", "desc", "limit",
+    "sum", "count", "avg", "min", "max", "distinct",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*",
+           "+", "-", "/", ".")
+
+
+class Token(NamedTuple):
+    """One lexical token."""
+
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'end'
+    value: str
+    position: int
+
+
+class SqlSyntaxError(ValueError):
+    """Raised for malformed SQL."""
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens (keywords are lower-cased)."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise SqlSyntaxError("unterminated string at {}".format(i))
+            tokens.append(Token("string", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit belongs to the next
+                    # token (e.g. "1.").
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, i))
+            else:
+                tokens.append(Token("ident", lowered, i))
+            i = j
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                value = "<>" if symbol == "!=" else symbol
+                tokens.append(Token("symbol", value, i))
+                i += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(
+                "unexpected character {!r} at position {}".format(ch, i)
+            )
+    tokens.append(Token("end", "", n))
+    return tokens

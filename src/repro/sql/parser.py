@@ -1,0 +1,280 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.sql.ast import (
+    OrderItem,
+    ParsedAggregate,
+    ParsedAnd,
+    ParsedArith,
+    ParsedBetween,
+    ParsedColumn,
+    ParsedComparison,
+    ParsedIn,
+    ParsedLiteral,
+    ParsedNot,
+    ParsedOr,
+    SelectItem,
+    SelectStatement,
+)
+from repro.sql.lexer import SqlSyntaxError, Token, tokenize
+
+AGG_KEYWORDS = ("sum", "count", "avg", "min", "max")
+COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    """Token-stream cursor with the usual helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- cursor helpers ----------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self._pos += 1
+        return token
+
+    def check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self.check(kind, value):
+            raise SqlSyntaxError(
+                "expected {} {!r}, found {!r} at position {}".format(
+                    kind, value or "", self.current.value, self.current.position
+                )
+            )
+        return self.advance()
+
+    # -- grammar -------------------------------------------------------
+
+    def statement(self) -> SelectStatement:
+        self.expect("keyword", "select")
+        distinct = self.accept("keyword", "distinct") is not None
+        items = [self.select_item()]
+        while self.accept("symbol", ","):
+            items.append(self.select_item())
+        self.expect("keyword", "from")
+        tables = [self.expect("ident").value]
+        while self.accept("symbol", ","):
+            tables.append(self.expect("ident").value)
+        where = None
+        if self.accept("keyword", "where"):
+            where = self.or_expr()
+        group_by: List[ParsedColumn] = []
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            group_by.append(self.column_ref())
+            while self.accept("symbol", ","):
+                group_by.append(self.column_ref())
+        having = None
+        if self.accept("keyword", "having"):
+            having = self.or_expr()
+        order_by: List[OrderItem] = []
+        if self.accept("keyword", "order"):
+            self.expect("keyword", "by")
+            order_by.append(self.order_item())
+            while self.accept("symbol", ","):
+                order_by.append(self.order_item())
+        limit = None
+        if self.accept("keyword", "limit"):
+            limit = int(self.expect("number").value)
+        self.expect("end")
+        return SelectStatement(
+            items=items,
+            tables=tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def select_item(self) -> SelectItem:
+        if self.accept("symbol", "*"):
+            return SelectItem(expr=None)
+        if self.current.kind == "keyword" and self.current.value in AGG_KEYWORDS:
+            func = self.advance().value
+            self.expect("symbol", "(")
+            if func == "count" and self.accept("symbol", "*"):
+                inner = None
+            else:
+                inner = self.expr()
+            self.expect("symbol", ")")
+            alias = self._maybe_alias()
+            return SelectItem(expr=ParsedAggregate(func, inner), alias=alias)
+        expr = self.expr()
+        alias = self._maybe_alias()
+        return SelectItem(expr=expr, alias=alias)
+
+    def _maybe_alias(self) -> Optional[str]:
+        if self.accept("keyword", "as"):
+            return self.expect("ident").value
+        if self.current.kind == "ident":
+            # bare alias (e.g. "sum(x) revenue")
+            return self.advance().value
+        return None
+
+    def order_item(self) -> OrderItem:
+        column = self.column_ref()
+        ascending = True
+        if self.accept("keyword", "desc"):
+            ascending = False
+        else:
+            self.accept("keyword", "asc")
+        return OrderItem(column=column, ascending=ascending)
+
+    def column_ref(self) -> ParsedColumn:
+        first = self.expect("ident").value
+        if self.accept("symbol", "."):
+            second = self.expect("ident").value
+            return ParsedColumn(name=second, table=first)
+        return ParsedColumn(name=first)
+
+    # -- predicates ------------------------------------------------------
+
+    def or_expr(self):
+        children = [self.and_expr()]
+        while self.accept("keyword", "or"):
+            children.append(self.and_expr())
+        if len(children) == 1:
+            return children[0]
+        return ParsedOr(children)
+
+    def and_expr(self):
+        children = [self.unary_pred()]
+        while self.accept("keyword", "and"):
+            children.append(self.unary_pred())
+        if len(children) == 1:
+            return children[0]
+        return ParsedAnd(children)
+
+    def unary_pred(self):
+        if self.accept("keyword", "not"):
+            return ParsedNot(self.unary_pred())
+        if self.check("symbol", "("):
+            # Could be a parenthesised predicate or a parenthesised
+            # arithmetic expression starting a comparison: backtrack.
+            saved = self._pos
+            self.advance()
+            try:
+                inner = self.or_expr()
+                self.expect("symbol", ")")
+                return inner
+            except SqlSyntaxError:
+                self._pos = saved
+        return self.predicate()
+
+    def predicate(self):
+        left = self.expr()
+        if self.current.kind == "symbol" and self.current.value in COMPARISONS:
+            op = self.advance().value
+            right = self.expr()
+            return ParsedComparison(op, left, right)
+        if self.accept("keyword", "between"):
+            low = self.expr()
+            self.expect("keyword", "and")
+            high = self.expr()
+            return ParsedBetween(left, low, high)
+        negated = False
+        if self.check("keyword", "not"):
+            self.advance()
+            negated = True
+        if self.accept("keyword", "in"):
+            self.expect("symbol", "(")
+            values = [self.literal_value()]
+            while self.accept("symbol", ","):
+                values.append(self.literal_value())
+            self.expect("symbol", ")")
+            return ParsedIn(left, values, negated=negated)
+        raise SqlSyntaxError(
+            "expected a predicate at position {}".format(self.current.position)
+        )
+
+    def literal_value(self):
+        if self.accept("symbol", "-"):
+            return -self.literal_value()
+        token = self.current
+        if token.kind == "string":
+            self.advance()
+            return token.value
+        if token.kind == "number":
+            self.advance()
+            return _number(token.value)
+        raise SqlSyntaxError(
+            "expected a literal at position {}".format(token.position)
+        )
+
+    # -- arithmetic expressions --------------------------------------------
+
+    def expr(self):
+        left = self.term()
+        while self.current.kind == "symbol" and self.current.value in ("+", "-"):
+            op = self.advance().value
+            right = self.term()
+            left = ParsedArith(op, left, right)
+        return left
+
+    def term(self):
+        left = self.factor()
+        while self.current.kind == "symbol" and self.current.value in ("*", "/"):
+            op = self.advance().value
+            right = self.factor()
+            left = ParsedArith(op, left, right)
+        return left
+
+    def factor(self):
+        if self.accept("symbol", "-"):
+            inner = self.factor()
+            if isinstance(inner, ParsedLiteral) and not isinstance(
+                inner.value, str
+            ):
+                return ParsedLiteral(-inner.value)
+            return ParsedArith("-", ParsedLiteral(0), inner)
+        if self.accept("symbol", "+"):
+            return self.factor()
+        if self.accept("symbol", "("):
+            inner = self.expr()
+            self.expect("symbol", ")")
+            return inner
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ParsedLiteral(_number(token.value))
+        if token.kind == "string":
+            self.advance()
+            return ParsedLiteral(token.value)
+        if token.kind == "ident":
+            return self.column_ref()
+        raise SqlSyntaxError(
+            "unexpected token {!r} at position {}".format(token.value, token.position)
+        )
+
+
+def _number(text: str) -> Union[int, float]:
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def parse(sql: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    return _Parser(tokenize(sql)).statement()

@@ -1,0 +1,148 @@
+"""Columns: actual values plus nominal (paper-scale) sizing."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.storage.types import ColumnType
+
+
+class Column:
+    """One attribute of a table.
+
+    ``values`` is the *actual* numpy array used for functional
+    execution.  ``nominal_rows`` is the row count the column would have
+    at the experiment's scale factor; every cost, cache, and heap
+    computation uses :attr:`nominal_bytes`.  When ``nominal_rows`` is
+    omitted the column is unscaled (nominal == actual).
+    """
+
+    def __init__(
+        self,
+        table: str,
+        name: str,
+        ctype: ColumnType,
+        values: np.ndarray,
+        nominal_rows: Optional[int] = None,
+        dictionary: Optional[List[str]] = None,
+    ):
+        if values.ndim != 1:
+            raise ValueError("columns are one-dimensional")
+        expected = ctype.numpy_dtype
+        if values.dtype != expected:
+            values = values.astype(expected)
+        if ctype is ColumnType.STRING and dictionary is None:
+            raise ValueError("string columns need a dictionary")
+        if ctype is not ColumnType.STRING and dictionary is not None:
+            raise ValueError("only string columns carry a dictionary")
+        self.table = table
+        self.name = name
+        self.ctype = ctype
+        self.values = values
+        self.nominal_rows = int(nominal_rows) if nominal_rows is not None else len(values)
+        self.dictionary = dictionary
+        #: set by repro.storage.compression: (codec name, measured
+        #: compressed/uncompressed ratio); shrinks nominal_bytes
+        self.compression = None
+
+    # -- identity -----------------------------------------------------
+
+    @property
+    def key(self) -> str:
+        """Globally unique column identifier, ``table.column``."""
+        return "{}.{}".format(self.table, self.name)
+
+    def __repr__(self) -> str:
+        return "<Column {} {} rows={} nominal={}>".format(
+            self.key, self.ctype.value, len(self.values), self.nominal_rows
+        )
+
+    # -- sizing --------------------------------------------------------
+
+    @property
+    def actual_rows(self) -> int:
+        return len(self.values)
+
+    @property
+    def nominal_bytes(self) -> int:
+        """Paper-scale size: what the column would occupy on the device
+        (after compression, if a codec has been applied)."""
+        raw = self.nominal_rows * self.ctype.itemsize
+        if self.compression is not None:
+            return int(raw * self.compression.ratio)
+        return raw
+
+    @property
+    def actual_bytes(self) -> int:
+        return self.values.nbytes
+
+    # -- string encoding ------------------------------------------------
+
+    @classmethod
+    def from_strings(
+        cls,
+        table: str,
+        name: str,
+        strings: Sequence[str],
+        nominal_rows: Optional[int] = None,
+    ) -> "Column":
+        """Dictionary-encode ``strings`` (sorted dictionary, so code
+        order preserves lexicographic order)."""
+        dictionary = sorted(set(strings))
+        code_of = {s: i for i, s in enumerate(dictionary)}
+        codes = np.fromiter(
+            (code_of[s] for s in strings), dtype=np.int32, count=len(strings)
+        )
+        return cls(table, name, ColumnType.STRING, codes,
+                   nominal_rows=nominal_rows, dictionary=dictionary)
+
+    def encode(self, string: str) -> int:
+        """Dictionary code for ``string``.
+
+        Unknown strings map to a code outside the value domain so
+        equality predicates simply select nothing.
+        """
+        if self.dictionary is None:
+            raise TypeError("{} is not a string column".format(self.key))
+        import bisect
+
+        index = bisect.bisect_left(self.dictionary, string)
+        if index < len(self.dictionary) and self.dictionary[index] == string:
+            return index
+        # Position in the sorted dictionary keeps range predicates on
+        # unknown bounds correct: codes < index are exactly the strings
+        # ordered before `string`.  Offset by -0.5 is impossible with
+        # ints, so callers use encode_bound for ranges.
+        return -1
+
+    def encode_lower_bound(self, string: str) -> int:
+        """Smallest code whose string is >= ``string``."""
+        if self.dictionary is None:
+            raise TypeError("{} is not a string column".format(self.key))
+        import bisect
+
+        return bisect.bisect_left(self.dictionary, string)
+
+    def encode_upper_bound(self, string: str) -> int:
+        """Largest code whose string is <= ``string`` (may be -1)."""
+        if self.dictionary is None:
+            raise TypeError("{} is not a string column".format(self.key))
+        import bisect
+
+        return bisect.bisect_right(self.dictionary, string) - 1
+
+    def decode(self, codes: Union[int, np.ndarray]):
+        """Map dictionary codes back to strings."""
+        if self.dictionary is None:
+            raise TypeError("{} is not a string column".format(self.key))
+        if np.isscalar(codes):
+            return self.dictionary[int(codes)]
+        return [self.dictionary[int(c)] for c in np.asarray(codes)]
+
+    # -- access ----------------------------------------------------------
+
+    def gather(self, positions: np.ndarray) -> np.ndarray:
+        """Values at the given row positions."""
+        return self.values[positions]

@@ -1,0 +1,101 @@
+"""Database persistence.
+
+Saves a :class:`~repro.storage.Database` to a single ``.npz`` archive:
+value arrays under ``<table>/<column>`` keys plus a JSON manifest with
+types, nominal sizes, dictionaries, and compression state.  Generating
+an SSB database is fast, but persisted databases make experiment runs
+byte-for-byte repeatable across sessions and serve as fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.storage.column import Column
+from repro.storage.database import Database
+from repro.storage.table import Table
+from repro.storage.types import ColumnType
+
+#: manifest format version; bump on incompatible layout changes
+FORMAT_VERSION = 1
+
+
+def save_database(database: Database, path: str) -> None:
+    """Write ``database`` to ``path`` (a ``.npz`` archive)."""
+    arrays: Dict[str, np.ndarray] = {}
+    manifest = {
+        "format": FORMAT_VERSION,
+        "name": database.name,
+        "tables": [],
+    }
+    for table in database.tables:
+        table_entry = {
+            "name": table.name,
+            "nominal_rows": table.nominal_rows,
+            "columns": [],
+        }
+        for column in table.columns:
+            array_key = "{}/{}".format(table.name, column.name)
+            arrays[array_key] = column.values
+            column_entry = {
+                "name": column.name,
+                "type": column.ctype.value,
+                "nominal_rows": column.nominal_rows,
+                "dictionary": column.dictionary,
+            }
+            if column.compression is not None:
+                column_entry["compression"] = {
+                    "codec": column.compression.codec,
+                    "ratio": column.compression.ratio,
+                }
+            table_entry["columns"].append(column_entry)
+        manifest["tables"].append(table_entry)
+    arrays["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def load_database(path: str) -> Database:
+    """Read a database previously written by :func:`save_database`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=False) as archive:
+        manifest = json.loads(bytes(archive["__manifest__"]).decode("utf-8"))
+        if manifest.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                "unsupported database format {!r}".format(
+                    manifest.get("format")
+                )
+            )
+        database = Database(manifest["name"])
+        for table_entry in manifest["tables"]:
+            table = Table(table_entry["name"],
+                          nominal_rows=table_entry["nominal_rows"])
+            database.add_table(table)
+            for column_entry in table_entry["columns"]:
+                array_key = "{}/{}".format(
+                    table_entry["name"], column_entry["name"]
+                )
+                column = Column(
+                    table_entry["name"],
+                    column_entry["name"],
+                    ColumnType(column_entry["type"]),
+                    archive[array_key],
+                    nominal_rows=column_entry["nominal_rows"],
+                    dictionary=column_entry["dictionary"],
+                )
+                compression = column_entry.get("compression")
+                if compression is not None:
+                    from repro.storage.compression import ColumnCompression
+
+                    column.compression = ColumnCompression(
+                        compression["codec"], compression["ratio"]
+                    )
+                table._attach(column)
+    return database

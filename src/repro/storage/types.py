@@ -1,0 +1,53 @@
+"""Column types.
+
+All types are fixed width.  Strings are dictionary-encoded into 32-bit
+codes; the dictionary is sorted, so code order equals lexicographic
+order and range predicates evaluate directly on codes (as CoGaDB's
+order-preserving dictionary compression does).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class ColumnType(enum.Enum):
+    """Fixed-width storage types."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    #: calendar date stored as yyyymmdd int32
+    DATE = "date"
+    #: dictionary-encoded string (int32 codes + sorted dictionary)
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The dtype of the in-memory value array."""
+        mapping = {
+            ColumnType.INT32: np.int32,
+            ColumnType.INT64: np.int64,
+            ColumnType.FLOAT32: np.float32,
+            ColumnType.FLOAT64: np.float64,
+            ColumnType.DATE: np.int32,
+            ColumnType.STRING: np.int32,
+        }
+        return np.dtype(mapping[self])
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per value as stored (dictionary codes for strings)."""
+        return self.numpy_dtype.itemsize
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (
+            ColumnType.INT32,
+            ColumnType.INT64,
+            ColumnType.FLOAT32,
+            ColumnType.FLOAT64,
+        )

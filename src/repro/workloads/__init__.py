@@ -1,0 +1,7 @@
+"""Benchmark workloads: SSBM, (modified) TPC-H, and the paper's micro
+benchmarks."""
+
+from repro.workloads.base import WorkloadQuery, sql_workload
+from repro.workloads import micro, ssb, tpch
+
+__all__ = ["WorkloadQuery", "micro", "sql_workload", "ssb", "tpch"]

@@ -1,0 +1,71 @@
+"""Workload abstractions shared by SSBM, TPC-H, and the micro benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.engine.operators import PhysicalPlan
+from repro.engine.planner import Planner
+from repro.sql import QuerySpec, bind
+from repro.storage import Database
+
+
+class WorkloadQuery:
+    """One query of a workload.
+
+    Holds a physical plan *template* (built lazily, functional results
+    memoised on it) plus, for SQL queries, the bound spec used by the
+    reference evaluator.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        sql: Optional[str] = None,
+        plan_builder: Optional[Callable[[Database], PhysicalPlan]] = None,
+    ):
+        if (sql is None) == (plan_builder is None):
+            raise ValueError("provide exactly one of sql / plan_builder")
+        self.name = name
+        self.database = database
+        self.sql = sql
+        self._plan_builder = plan_builder
+        self._spec: Optional[QuerySpec] = None
+        self._template: Optional[PhysicalPlan] = None
+
+    @property
+    def spec(self) -> Optional[QuerySpec]:
+        """The bound spec (None for hand-built plans)."""
+        if self._spec is None and self.sql is not None:
+            self._spec = bind(self.sql, self.database, name=self.name)
+        return self._spec
+
+    def template_plan(self) -> PhysicalPlan:
+        """The shared plan template (build once, reuse)."""
+        if self._template is None:
+            if self.sql is not None:
+                self._template = Planner(self.database).plan(self.spec)
+            else:
+                self._template = self._plan_builder(self.database)
+            self._template.name = self.name
+        return self._template
+
+    def instantiate(self) -> PhysicalPlan:
+        """A fresh plan instance for one execution."""
+        return self.template_plan().clone()
+
+    def required_columns(self):
+        return self.template_plan().required_columns()
+
+    def __repr__(self) -> str:
+        return "<WorkloadQuery {}>".format(self.name)
+
+
+def sql_workload(database: Database, queries) -> List[WorkloadQuery]:
+    """Build WorkloadQuery objects from ``{name: sql}`` pairs."""
+    if isinstance(queries, dict):
+        items = queries.items()
+    else:
+        items = queries
+    return [WorkloadQuery(name, database, sql=sql) for name, sql in items]

@@ -1,0 +1,110 @@
+"""The paper's micro benchmarks (Appendix B).
+
+* :func:`serial_selection_workload` — B.1: eight ``select *`` queries,
+  each filtering a different lineorder column, executed interleaved.
+  Their combined input (8 fact columns, 1.9 GB at SF 10) is the working
+  set that provokes cache thrashing when the GPU buffer is smaller.
+* :func:`parallel_selection_workload` — B.2: one query derived from SSB
+  Q1.1 filtering two cached columns, compiled to CoGaDB's chain of four
+  consecutive selection operators; its 3.25x-input heap footprint makes
+  roughly seven queries fit a 5 GB device concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.expressions import And, ColumnRef, Comparison, Literal
+from repro.engine.operators import (
+    Materialize,
+    PhysicalPlan,
+    RefineSelect,
+    ScanSelect,
+)
+from repro.storage import Database
+from repro.workloads.base import WorkloadQuery, sql_workload
+
+#: B.1: the eight interleaved selection queries (Listing 1).  The
+#: predicates select (almost) nothing by design — the benchmark
+#: measures pure selection cost over eight distinct input columns.
+SERIAL_SELECTION_QUERIES = {
+    "S1": "select * from lineorder where lo_quantity < 1",
+    "S2": "select * from lineorder where lo_discount > 10",
+    "S3": "select * from lineorder where lo_shippriority > 0",
+    "S4": "select * from lineorder where lo_extendedprice < 100",
+    "S5": "select * from lineorder where lo_ordtotalprice < 100",
+    "S6": "select * from lineorder where lo_revenue < 1000",
+    "S7": "select * from lineorder where lo_supplycost < 1000",
+    "S8": "select * from lineorder where lo_tax > 10",
+}
+
+#: Columns making up the B.1 working set (1.9 GB at scale factor 10).
+SERIAL_SELECTION_COLUMNS = (
+    "lineorder.lo_quantity",
+    "lineorder.lo_discount",
+    "lineorder.lo_shippriority",
+    "lineorder.lo_extendedprice",
+    "lineorder.lo_ordtotalprice",
+    "lineorder.lo_revenue",
+    "lineorder.lo_supplycost",
+    "lineorder.lo_tax",
+)
+
+
+def serial_selection_workload(database: Database) -> List[WorkloadQuery]:
+    """The B.1 workload: eight interleaved selections."""
+    return sql_workload(database, SERIAL_SELECTION_QUERIES)
+
+
+def build_parallel_selection_plan(database: Database) -> PhysicalPlan:
+    """B.2 (Listing 2) as CoGaDB executes it: a chain of four
+    consecutive selection operators plus host-side materialisation.
+
+    ``select * from lineorder where lo_discount between 4 and 6
+    and lo_quantity between 26 and 35``
+    """
+    discount = ColumnRef("lineorder", "lo_discount")
+    quantity = ColumnRef("lineorder", "lo_quantity")
+    scan = ScanSelect(
+        "lineorder", Comparison(">=", discount, Literal(4)),
+        label="Sel(lo_discount>=4)",
+    )
+    refine1 = RefineSelect(
+        scan, "lineorder", Comparison("<=", discount, Literal(6)),
+        label="Sel(lo_discount<=6)",
+    )
+    refine2 = RefineSelect(
+        refine1, "lineorder", Comparison(">=", quantity, Literal(26)),
+        label="Sel(lo_quantity>=26)",
+    )
+    refine3 = RefineSelect(
+        refine2, "lineorder", Comparison("<=", quantity, Literal(35)),
+        label="Sel(lo_quantity<=35)",
+    )
+    items = [
+        (column.name, ColumnRef("lineorder", column.name))
+        for column in database.table("lineorder").columns
+    ]
+    root = Materialize(refine3, items)
+    return PhysicalPlan(root, name="P1")
+
+
+def parallel_selection_workload(database: Database) -> List[WorkloadQuery]:
+    """The B.2 workload: one query, executed by many parallel users."""
+    return [
+        WorkloadQuery("P1", database,
+                      plan_builder=build_parallel_selection_plan)
+    ]
+
+
+def parallel_selection_reference_predicate():
+    """The B.2 predicate as a single expression (used by tests to check
+    the chain against a fused evaluation)."""
+    discount = ColumnRef("lineorder", "lo_discount")
+    quantity = ColumnRef("lineorder", "lo_quantity")
+    return And([
+        Comparison(">=", discount, Literal(4)),
+        Comparison("<=", discount, Literal(6)),
+        Comparison(">=", quantity, Literal(26)),
+        Comparison("<=", quantity, Literal(35)),
+    ])

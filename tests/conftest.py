@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic databases and simulation
+contexts."""
+
+import numpy as np
+import pytest
+
+from repro.engine.execution import ExecutionContext
+from repro.hardware import HardwareSystem, SystemConfig
+from repro.sim import Environment
+from repro.storage import ColumnType, Database
+from repro.workloads import ssb, tpch
+
+
+def make_context(database, config=None):
+    """A fresh (env, hardware, ctx) triple for simulation tests."""
+    env = Environment()
+    hardware = HardwareSystem(env, config or SystemConfig())
+    ctx = ExecutionContext(hardware, database)
+    return env, hardware, ctx
+
+
+@pytest.fixture(scope="session")
+def ssb_db():
+    """A small SSB database (actual arrays small, nominal tiny SF)."""
+    return ssb.generate(scale_factor=0.01, data_scale=0.01, seed=123)
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """A small TPC-H database."""
+    return tpch.generate(scale_factor=0.01, data_scale=0.01, seed=321)
+
+
+@pytest.fixture()
+def toy_db():
+    """A two-table database with known contents for operator tests."""
+    db = Database("toy")
+    rng = np.random.default_rng(5)
+    n = 500
+    fact = db.create_table("sales", nominal_rows=1_000_000)
+    fact.add_column("skey", ColumnType.INT32, rng.integers(1, 21, n))
+    fact.add_column("amount", ColumnType.INT32, rng.integers(1, 100, n))
+    fact.add_column("price", ColumnType.INT32, rng.integers(1, 50, n))
+    dim = db.create_table("store", nominal_rows=20)
+    dim.add_column("id", ColumnType.INT32, np.arange(1, 21))
+    dim.add_string_column(
+        "region", [["north", "south", "east", "west"][i % 4] for i in range(20)]
+    )
+    dim.add_column("size", ColumnType.INT32, np.arange(20) * 10)
+    return db

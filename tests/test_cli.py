@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURE_DRIVERS, build_parser, main
+
+
+def test_strategies_command(capsys):
+    assert main(["strategies"]) == 0
+    out = capsys.readouterr().out
+    assert "data_driven_chopping" in out
+    assert "critical_path" in out
+
+
+def test_query_command(capsys):
+    code = main([
+        "query",
+        "select count(*) as n from lineorder where lo_discount > 8",
+        "--scale-factor", "1", "--strategy", "cpu_only",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 rows" in out
+    assert "simulated" in out
+
+
+def test_run_command(capsys):
+    code = main([
+        "run", "--scale-factor", "1", "--users", "2",
+        "--repetitions", "1", "--strategy", "chopping",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "workload_seconds" in out
+    assert "Q4.3" in out
+
+
+def test_run_command_multi_gpu(capsys):
+    code = main([
+        "run", "--scale-factor", "1", "--repetitions", "1",
+        "--gpus", "2", "--strategy", "data_driven_chopping",
+    ])
+    assert code == 0
+    assert "workload_seconds" in capsys.readouterr().out
+
+
+def test_figures_selected(capsys):
+    code = main(["figures", "fig16", "--fast"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 16" in out
+    assert "done in" in out
+
+
+def test_figures_unknown_id(capsys):
+    assert main(["figures", "fig99"]) == 1
+    assert "unknown figure" in capsys.readouterr().out
+
+
+def test_figure_driver_table_covers_all_paper_figures():
+    expected = {
+        "fig01", "fig02", "fig03", "fig05", "fig06", "fig07", "fig09",
+        "fig12", "fig13", "fig14a", "fig14b", "fig15a", "fig15b",
+        "fig16", "fig17", "fig18a", "fig18b", "fig19", "fig20", "fig21",
+        "fig22", "fig23", "fig24", "fig25",
+    }
+    assert expected <= set(FIGURE_DRIVERS)
+
+
+def test_compress_command(capsys):
+    code = main(["compress", "--scale-factor", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "lineorder.lo_discount" in out
+    assert "total:" in out
+
+
+def test_parser_rejects_bad_strategy():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--strategy", "warp-drive"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,155 @@
+"""Unit tests for the Critical Path optimizer and its cardinality
+estimator."""
+
+import pytest
+
+from tests.conftest import make_context
+from repro.core.placement import CriticalPath
+from repro.engine import Planner
+from repro.engine.cardinality import estimate_selectivity
+from repro.engine.expressions import ColumnRef, Comparison, Literal
+from repro.engine.operators import HashJoin, ScanSelect
+from repro.sql import bind
+
+
+JOIN_SQL = (
+    "select region, sum(amount) as s from sales, store "
+    "where skey = id and amount < 40 group by region"
+)
+
+
+def make_plan(db, sql=JOIN_SQL):
+    return Planner(db).plan(bind(sql, db, name="q"))
+
+
+class TestCardinalityEstimation:
+    def test_no_predicate_is_one(self, toy_db):
+        assert estimate_selectivity(toy_db, "sales", None) == 1.0
+
+    def test_uniform_predicate(self, toy_db):
+        predicate = Comparison(
+            "<", ColumnRef("sales", "amount"), Literal(50)
+        )
+        estimate = estimate_selectivity(toy_db, "sales", predicate)
+        # amount uniform in [1, 100)
+        assert 0.3 < estimate < 0.7
+
+    def test_impossible_predicate(self, toy_db):
+        predicate = Comparison(
+            ">", ColumnRef("sales", "amount"), Literal(10**9)
+        )
+        assert estimate_selectivity(toy_db, "sales", predicate) == 0.0
+
+    def test_small_tables_use_all_rows(self, toy_db):
+        predicate = Comparison("<", ColumnRef("store", "size"), Literal(100))
+        estimate = estimate_selectivity(toy_db, "store", predicate)
+        # store has 20 rows, sizes 0..190: exactly 10 below 100
+        assert estimate == pytest.approx(0.5)
+
+
+class TestOpEstimates:
+    def test_join_cardinality_propagates_build_selectivity(self, toy_db):
+        env, hw, ctx = make_context(toy_db)
+        plan = make_plan(
+            toy_db,
+            "select sum(amount) as s from sales, store "
+            "where skey = id and size < 100",
+        )
+        cp = CriticalPath()
+        estimates = cp._estimate_sizes(ctx, plan)
+        join = [op for op in plan.operators if isinstance(op, HashJoin)][0]
+        join_estimate = estimates[join.op_id]
+        fact_rows = toy_db.table("sales").nominal_rows
+        # half the stores survive the filter: ~half the fact rows join
+        assert join_estimate.out_rows == pytest.approx(
+            fact_rows * 0.5, rel=0.1
+        )
+
+    def test_filtered_scan_out_rows(self, toy_db):
+        env, hw, ctx = make_context(toy_db)
+        plan = make_plan(
+            toy_db, "select amount from sales where amount < 40"
+        )
+        cp = CriticalPath()
+        estimates = cp._estimate_sizes(ctx, plan)
+        scan = plan.leaves[0]
+        fact_rows = toy_db.table("sales").nominal_rows
+        assert estimates[scan.op_id].out_rows == pytest.approx(
+            fact_rows * 0.4, rel=0.2
+        )
+
+    def test_bare_scan_has_zero_out_bytes(self, toy_db):
+        env, hw, ctx = make_context(toy_db)
+        plan = make_plan(toy_db)
+        cp = CriticalPath()
+        estimates = cp._estimate_sizes(ctx, plan)
+        bare = [
+            op for op in plan.leaves
+            if isinstance(op, ScanSelect) and op.predicate is None
+        ]
+        for op in bare:
+            assert estimates[op.op_id].out_bytes == 0.0
+
+
+class TestCriticalPathPlacement:
+    def test_cold_cache_keeps_large_transfers_off_gpu(self, toy_db):
+        env, hw, ctx = make_context(toy_db)
+        plan = make_plan(toy_db)
+        CriticalPath().prepare_plan(ctx, plan)
+        # with nothing cached, the fact-side selection (which would
+        # require a 4 MB-nominal transfer) stays on the CPU
+        fact_scan = [
+            op for op in plan.leaves
+            if isinstance(op, ScanSelect) and op.table == "sales"
+            and op.predicate is not None
+        ]
+        for op in fact_scan:
+            assert op.placement == "cpu"
+
+    def test_hot_cache_promotes_the_join_pipeline(self, toy_db):
+        env, hw, ctx = make_context(toy_db)
+        for column in toy_db.columns():
+            hw.gpu_cache.admit(column.key, column.nominal_bytes, pinned=True)
+        plan = make_plan(toy_db)
+        CriticalPath().prepare_plan(ctx, plan)
+        join = [op for op in plan.operators if isinstance(op, HashJoin)][0]
+        assert join.placement == "gpu"
+
+    def test_every_operator_gets_a_placement(self, toy_db):
+        env, hw, ctx = make_context(toy_db)
+        plan = make_plan(toy_db)
+        CriticalPath().prepare_plan(ctx, plan)
+        assert all(op.placement in ("cpu", "gpu") for op in plan.operators)
+
+    def test_host_only_operators_stay_on_cpu(self, toy_db):
+        env, hw, ctx = make_context(toy_db)
+        for column in toy_db.columns():
+            hw.gpu_cache.admit(column.key, column.nominal_bytes, pinned=True)
+        plan = make_plan(
+            toy_db, "select amount, price from sales where amount < 40"
+        )
+        CriticalPath().prepare_plan(ctx, plan)
+        for op in plan.operators:
+            if op.cpu_only:
+                assert op.placement == "cpu"
+
+    def test_iteration_budget_respected(self, toy_db):
+        env, hw, ctx = make_context(toy_db)
+        plan = make_plan(toy_db)
+        strategy = CriticalPath()
+        strategy.max_iterations = 0
+        strategy.prepare_plan(ctx, plan)
+        # no promotions possible: pure CPU plan
+        assert all(op.placement == "cpu" for op in plan.operators)
+
+    def test_plan_cost_decreases_or_stays_with_useful_promotions(self, toy_db):
+        env, hw, ctx = make_context(toy_db)
+        for column in toy_db.columns():
+            hw.gpu_cache.admit(column.key, column.nominal_bytes, pinned=True)
+        plan = make_plan(toy_db)
+        cp = CriticalPath()
+        estimates = cp._estimate_sizes(ctx, plan)
+        cpu_cost = cp._plan_cost(ctx, plan, frozenset(), estimates)
+        all_leaves = frozenset(l.op_id for l in plan.leaves)
+        gpu_cost = cp._plan_cost(ctx, plan, all_leaves, estimates)
+        assert gpu_cost < cpu_cost  # hot cache: the GPU plan wins

@@ -1,0 +1,135 @@
+"""Unit tests for the data-placement manager (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_context
+from repro.core import DataPlacementManager
+from repro.hardware import DeviceCache, PCIeBus, SystemConfig
+from repro.sim import Environment
+from repro.storage import ColumnType, Database
+
+
+@pytest.fixture()
+def stats_db():
+    """Five equally sized columns with distinct access counts."""
+    db = Database("stats")
+    table = db.create_table("t", nominal_rows=100)
+    for i, name in enumerate(["c0", "c1", "c2", "c3", "c4"]):
+        table.add_column(name, ColumnType.INT32,
+                         np.arange(10, dtype=np.int32))
+        for _ in range(i + 1):  # c4 is hottest
+            db.statistics.record_access("t.{}".format(name), now=float(i))
+    return db
+
+
+def column_bytes(db):
+    return db.column("t.c0").nominal_bytes  # 400 bytes each
+
+
+def test_algorithm1_caches_most_frequent_prefix(stats_db):
+    cache = DeviceCache(2 * column_bytes(stats_db))
+    manager = DataPlacementManager(stats_db, cache, policy="lfu")
+    cached = manager.apply_placement()
+    assert cached == ["t.c3", "t.c4"]
+
+
+def test_algorithm1_respects_budget_exactly(stats_db):
+    nbytes = column_bytes(stats_db)
+    cache = DeviceCache(3 * nbytes + nbytes // 2)
+    manager = DataPlacementManager(stats_db, cache, policy="lfu")
+    cached = manager.apply_placement()
+    assert len(cached) == 3
+    assert cache.used <= cache.capacity
+
+
+def test_cached_columns_are_pinned(stats_db):
+    cache = DeviceCache(2 * column_bytes(stats_db))
+    manager = DataPlacementManager(stats_db, cache, policy="lfu")
+    manager.apply_placement()
+    for key in cache.keys:
+        assert cache.entry(key).pinned
+
+
+def test_placement_update_evicts_stale_entries(stats_db):
+    cache = DeviceCache(2 * column_bytes(stats_db))
+    manager = DataPlacementManager(stats_db, cache, policy="lfu")
+    manager.apply_placement()
+    # shift the workload: c0 becomes the hottest column
+    for _ in range(50):
+        stats_db.statistics.record_access("t.c0", now=100.0)
+    cached = manager.apply_placement()
+    assert "t.c0" in cached
+    assert "t.c3" not in cached
+
+
+def test_in_use_entries_deferred_not_evicted(stats_db):
+    cache = DeviceCache(2 * column_bytes(stats_db))
+    manager = DataPlacementManager(stats_db, cache, policy="lfu")
+    manager.apply_placement()
+    cache.acquire("t.c4")  # a running operator holds the column
+    for _ in range(50):
+        stats_db.statistics.record_access("t.c0", now=100.0)
+    cached = manager.apply_placement()
+    # c4 is due for eviction but in use: deferred cleanup keeps it
+    assert "t.c4" in cached
+
+
+def test_lru_policy_uses_recency(stats_db):
+    # recency in the fixture: c4 most recent (now=4.0)
+    cache = DeviceCache(2 * column_bytes(stats_db))
+    manager = DataPlacementManager(stats_db, cache, policy="lru")
+    cached = manager.apply_placement()
+    assert cached == ["t.c3", "t.c4"]
+
+
+def test_unknown_policy_rejected(stats_db):
+    with pytest.raises(ValueError):
+        DataPlacementManager(stats_db, DeviceCache(100), policy="mru")
+
+
+def test_untouched_columns_never_cached(stats_db):
+    table = stats_db.table("t")
+    table.add_column("cold", ColumnType.INT32, np.arange(10, dtype=np.int32))
+    cache = DeviceCache(100 * column_bytes(stats_db))
+    manager = DataPlacementManager(stats_db, cache, policy="lfu")
+    cached = manager.apply_placement()
+    assert "t.cold" not in cached
+
+
+def test_online_place_charges_transfers(stats_db):
+    from repro.metrics import MetricsCollector
+
+    env = Environment()
+    metrics = MetricsCollector()
+    bus = PCIeBus(env, bandwidth_bytes_per_second=1000.0, metrics=metrics)
+    cache = DeviceCache(2 * column_bytes(stats_db), clock=lambda: env.now)
+    manager = DataPlacementManager(stats_db, cache, policy="lfu")
+
+    env.process(manager.place(bus))
+    env.run()
+    assert metrics.cpu_to_gpu_bytes == 2 * column_bytes(stats_db)
+    assert env.now > 0
+
+
+def test_background_job_repeats(stats_db):
+    env = Environment()
+    bus = PCIeBus(env, bandwidth_bytes_per_second=1e12)
+    cache = DeviceCache(2 * column_bytes(stats_db), clock=lambda: env.now)
+    manager = DataPlacementManager(stats_db, cache, policy="lfu")
+    env.process(manager.background_job(bus, interval_seconds=1.0))
+    env.run(until=2.5)
+    assert len(cache.keys) == 2
+    # workload shift is picked up on the next period
+    for _ in range(50):
+        stats_db.statistics.record_access("t.c0", now=100.0)
+    env.run(until=3.5)
+    assert "t.c0" in cache
+
+
+def test_stale_statistics_for_dropped_columns_ignored(stats_db):
+    stats_db.statistics.record_access("t.ghost_column")
+    cache = DeviceCache(10 * column_bytes(stats_db))
+    manager = DataPlacementManager(stats_db, cache, policy="lfu")
+    cached = manager.apply_placement()  # must not raise
+    assert "t.ghost_column" not in cached

@@ -1,0 +1,197 @@
+"""Tests for SELECT DISTINCT and HAVING support."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Planner, execute_reference
+from repro.engine.execution import execute_functional
+from repro.engine.operators import Distinct, FrameFilter
+from repro.sql import bind
+from repro.sql.binder import BindError
+
+
+def run(db, sql, name="q"):
+    spec = bind(sql, db, name=name)
+    plan = Planner(db).plan(spec)
+    result = execute_functional(plan, db)
+    return spec, plan, result
+
+
+class TestDistinct:
+    def test_distinct_removes_duplicates(self, toy_db):
+        spec, plan, result = run(
+            toy_db, "select distinct skey from sales"
+        )
+        values = result.payload.column("skey")
+        assert len(values) == len(set(values.tolist()))
+        assert set(values.tolist()) == set(
+            toy_db.column("sales.skey").values.tolist()
+        )
+
+    def test_distinct_multi_column(self, toy_db):
+        spec, plan, result = run(
+            toy_db,
+            "select distinct skey, amount from sales where amount < 10",
+        )
+        rows = result.payload.row_tuples()
+        assert len(rows) == len(set(rows))
+        # oracle
+        skey = toy_db.column("sales.skey").values
+        amount = toy_db.column("sales.amount").values
+        expected = {
+            (int(k), int(a)) for k, a in zip(skey, amount) if a < 10
+        }
+        assert set(rows) == expected
+
+    def test_distinct_matches_reference(self, toy_db):
+        spec, plan, result = run(
+            toy_db, "select distinct price from sales where price < 20"
+        )
+        engine_rows = sorted(result.payload.row_tuples())
+        reference_rows = sorted(execute_reference(spec, toy_db))
+        assert engine_rows == reference_rows
+
+    def test_distinct_plan_contains_operator(self, toy_db):
+        spec, plan, _ = run(toy_db, "select distinct skey from sales")
+        assert any(isinstance(op, Distinct) for op in plan.operators)
+
+    def test_distinct_with_order_by(self, toy_db):
+        spec, plan, result = run(
+            toy_db, "select distinct skey from sales order by skey desc"
+        )
+        values = result.payload.column("skey")
+        assert np.array_equal(values, np.sort(values)[::-1])
+
+    def test_distinct_on_aggregation_is_noop(self, toy_db):
+        spec = bind(
+            "select distinct skey, sum(amount) as s from sales "
+            "group by skey",
+            toy_db,
+        )
+        assert not spec.distinct  # grouped output is already unique
+        plan = Planner(toy_db).plan(spec)
+        assert not any(isinstance(op, Distinct) for op in plan.operators)
+
+    def test_distinct_preserves_dictionaries(self, toy_db):
+        spec, plan, result = run(
+            toy_db,
+            "select distinct region from sales, store where skey = id",
+        )
+        decoded = result.payload.decoded("region")
+        assert set(decoded) == {"north", "south", "east", "west"}
+        assert len(decoded) == 4
+
+
+class TestHaving:
+    def test_having_filters_groups(self, toy_db):
+        spec, plan, result = run(
+            toy_db,
+            "select skey, count(*) as n from sales group by skey "
+            "having n > 20",
+        )
+        assert (result.payload.column("n") > 20).all()
+        # oracle: the kept groups are exactly those above the threshold
+        import collections
+
+        counts = collections.Counter(
+            toy_db.column("sales.skey").values.tolist()
+        )
+        expected = {k for k, v in counts.items() if v > 20}
+        assert set(result.payload.column("skey").tolist()) == expected
+
+    def test_having_matches_reference(self, toy_db):
+        spec, plan, result = run(
+            toy_db,
+            "select skey, sum(amount) as total from sales group by skey "
+            "having total between 800 and 2000",
+        )
+        engine_rows = sorted(
+            tuple(int(v) for v in row)
+            for row in result.payload.row_tuples()
+        )
+        reference_rows = sorted(
+            tuple(int(v) for v in row)
+            for row in execute_reference(spec, toy_db)
+        )
+        assert engine_rows == reference_rows
+
+    def test_having_with_arithmetic(self, toy_db):
+        spec, plan, result = run(
+            toy_db,
+            "select skey, sum(amount) as s, count(*) as n from sales "
+            "group by skey having s - n > 500",
+        )
+        frame = result.payload
+        assert ((frame.column("s") - frame.column("n")) > 500).all()
+
+    def test_having_on_group_column(self, toy_db):
+        spec, plan, result = run(
+            toy_db,
+            "select skey, count(*) as n from sales group by skey "
+            "having skey < 5",
+        )
+        assert (result.payload.column("skey") < 5).all()
+        assert result.actual_rows == 4
+
+    def test_having_plan_contains_filter(self, toy_db):
+        spec, plan, _ = run(
+            toy_db,
+            "select skey, count(*) as n from sales group by skey "
+            "having n > 0",
+        )
+        assert any(isinstance(op, FrameFilter) for op in plan.operators)
+
+    def test_having_requires_aggregation(self, toy_db):
+        with pytest.raises(BindError):
+            bind("select amount from sales having amount > 5", toy_db)
+
+    def test_having_unknown_output_rejected(self, toy_db):
+        with pytest.raises(BindError):
+            bind(
+                "select skey, count(*) as n from sales group by skey "
+                "having price > 5",
+                toy_db,
+            )
+
+    def test_having_string_literal_rejected(self, toy_db):
+        with pytest.raises(BindError):
+            bind(
+                "select region, count(*) as n from sales, store "
+                "where skey = id group by region having region = 'north'",
+                toy_db,
+            )
+
+    def test_having_then_order_and_limit(self, toy_db):
+        spec, plan, result = run(
+            toy_db,
+            "select skey, sum(amount) as s from sales group by skey "
+            "having s > 100 order by s desc limit 3",
+        )
+        values = result.payload.column("s")
+        assert len(values) == 3
+        assert np.array_equal(values, np.sort(values)[::-1])
+
+
+class TestSimulatedExecution:
+    def test_distinct_and_having_under_strategies(self, toy_db):
+        from repro.harness import run_workload
+        from repro.workloads import sql_workload
+
+        queries = sql_workload(toy_db, {
+            "distinct": "select distinct skey from sales where amount < 50",
+            "having": (
+                "select skey, count(*) as n from sales group by skey "
+                "having n > 15"
+            ),
+        })
+        expected = {
+            q.name: execute_functional(
+                q.template_plan(), toy_db
+            ).payload.row_tuples()
+            for q in queries
+        }
+        for strategy in ("cpu_only", "gpu_only", "data_driven_chopping"):
+            run_result = run_workload(toy_db, queries, strategy,
+                                      collect_results=True)
+            for name, rows in expected.items():
+                assert run_result.results[name].row_tuples() == rows

@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, stdin=None, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, input=stdin, timeout=timeout,
+    )
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "Logical plan" in result.stdout
+    assert "data_driven_chopping" in result.stdout
+
+
+def test_adhoc_cache_thrashing():
+    result = run_example("adhoc_cache_thrashing.py")
+    assert result.returncode == 0, result.stderr
+    assert "operator-driven" in result.stdout
+    assert "Working set" in result.stdout
+
+
+def test_multi_user_dashboard():
+    result = run_example("multi_user_dashboard.py")
+    assert result.returncode == 0, result.stderr
+    assert "Wasted time" in result.stdout
+
+
+def test_multi_gpu_scaleup():
+    result = run_example("multi_gpu_scaleup.py")
+    assert result.returncode == 0, result.stderr
+    assert "data_driven_chopping" in result.stdout
+
+
+def test_compression_breakdown():
+    result = run_example("compression_breakdown.py")
+    assert result.returncode == 0, result.stderr
+    assert "compressed" in result.stdout
+
+
+def test_reproduce_paper_selected_figure():
+    result = run_example("reproduce_paper.py", "--fast", "fig16")
+    assert result.returncode == 0, result.stderr
+    assert "Figure 16" in result.stdout
+    assert "All done" in result.stdout
+
+
+def test_reproduce_paper_rejects_unknown_figure():
+    result = run_example("reproduce_paper.py", "fig99")
+    assert result.returncode == 1
+    assert "unknown figure" in result.stdout
+
+
+def test_sql_shell_scripted_session():
+    session = "\n".join([
+        "\\tables",
+        "select d_year, sum(lo_revenue) as r from lineorder, date "
+        "where lo_orderdate = d_datekey group by d_year order by d_year",
+        "\\strategy cpu_only",
+        "select count(*) as n from supplier",
+        "\\quit",
+    ]) + "\n"
+    result = run_example("sql_shell.py", stdin=session)
+    assert result.returncode == 0, result.stderr
+    assert "lineorder" in result.stdout
+    assert "d_year" in result.stdout
+    assert "strategy = cpu_only" in result.stdout
+
+
+def test_sql_shell_reports_errors_gracefully():
+    session = "select nope from nowhere\n\\quit\n"
+    result = run_example("sql_shell.py", stdin=session)
+    assert result.returncode == 0
+    assert "error:" in result.stdout

@@ -1,0 +1,202 @@
+"""Unit tests for vectorised expression evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Frame
+from repro.engine.expressions import (
+    Aggregate,
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    Literal,
+    Not,
+    Or,
+    conjunction,
+    conjuncts,
+)
+from repro.storage import ColumnType, Database
+
+
+@pytest.fixture()
+def frame():
+    db = Database()
+    table = db.create_table("t")
+    table.add_column("a", ColumnType.INT32,
+                     np.array([1, 5, 10, 15], dtype=np.int32))
+    table.add_column("b", ColumnType.INT32,
+                     np.array([2, 2, 3, 3], dtype=np.int32))
+    table.add_string_column("s", ["apple", "fig", "pear", "fig"])
+    return Frame(db)
+
+
+A = ColumnRef("t", "a")
+B = ColumnRef("t", "b")
+S = ColumnRef("t", "s")
+
+
+def test_comparison_ops(frame):
+    assert list(Comparison("<", A, Literal(10)).evaluate(frame)) == [
+        True, True, False, False,
+    ]
+    assert list(Comparison(">=", A, Literal(10)).evaluate(frame)) == [
+        False, False, True, True,
+    ]
+    assert list(Comparison("=", B, Literal(2)).evaluate(frame)) == [
+        True, True, False, False,
+    ]
+    assert list(Comparison("<>", B, Literal(2)).evaluate(frame)) == [
+        False, False, True, True,
+    ]
+
+
+def test_column_to_column_comparison(frame):
+    assert list(Comparison("<", B, A).evaluate(frame)) == [
+        False, True, True, True,
+    ]
+
+
+def test_between_inclusive(frame):
+    assert list(Between(A, Literal(5), Literal(10)).evaluate(frame)) == [
+        False, True, True, False,
+    ]
+
+
+def test_in_list_numeric(frame):
+    assert list(InList(A, [1, 15]).evaluate(frame)) == [
+        True, False, False, True,
+    ]
+
+
+def test_in_list_strings(frame):
+    assert list(InList(S, ["fig", "pear"]).evaluate(frame)) == [
+        False, True, True, True,
+    ]
+
+
+def test_in_list_unknown_string_selects_nothing(frame):
+    assert not InList(S, ["banana"]).evaluate(frame).any()
+
+
+def test_string_equality(frame):
+    assert list(Comparison("=", S, Literal("fig")).evaluate(frame)) == [
+        False, True, False, True,
+    ]
+
+
+def test_string_equality_unknown(frame):
+    assert not Comparison("=", S, Literal("zzz")).evaluate(frame).any()
+
+
+def test_string_range(frame):
+    # 'apple' < 'fig' < 'pear'
+    result = Comparison("<", S, Literal("pear")).evaluate(frame)
+    assert list(result) == [True, True, False, True]
+    result = Comparison(">=", S, Literal("fig")).evaluate(frame)
+    assert list(result) == [False, True, True, True]
+
+
+def test_string_range_unknown_bound(frame):
+    # 'grape' sorts between 'fig' and 'pear'
+    result = Comparison("<=", S, Literal("grape")).evaluate(frame)
+    assert list(result) == [True, True, False, True]
+    result = Comparison(">", S, Literal("grape")).evaluate(frame)
+    assert list(result) == [False, False, True, False]
+
+
+def test_string_between(frame):
+    result = Between(S, Literal("apple"), Literal("fig")).evaluate(frame)
+    assert list(result) == [True, True, False, True]
+
+
+def test_reversed_string_literal_comparison(frame):
+    # 'fig' <= s  <=>  s >= 'fig'
+    result = Comparison("<=", Literal("fig"), S).evaluate(frame)
+    assert list(result) == [False, True, True, True]
+
+
+def test_arithmetic(frame):
+    result = Arithmetic("+", A, B).evaluate(frame)
+    assert list(result) == [3, 7, 13, 18]
+    result = Arithmetic("-", A, B).evaluate(frame)
+    assert list(result) == [-1, 3, 7, 12]
+
+
+def test_multiplication_widens_int32():
+    db = Database()
+    table = db.create_table("t")
+    big = np.array([2_000_000_000, 3], dtype=np.int32)
+    table.add_column("x", ColumnType.INT32, big)
+    frame = Frame(db)
+    x = ColumnRef("t", "x")
+    result = Arithmetic("*", x, x).evaluate(frame)
+    assert result.dtype == np.int64
+    assert result[0] == 4_000_000_000_000_000_000
+
+
+def test_boolean_connectives(frame):
+    left = Comparison("<", A, Literal(10))   # [T, T, F, F]
+    right = Comparison("=", A, Literal(10))  # [F, F, T, F]
+    assert list(And([left, right]).evaluate(frame)) == [
+        False, False, False, False,
+    ]
+    assert list(Or([left, right]).evaluate(frame)) == [
+        True, True, True, False,
+    ]
+    assert list(Not(left).evaluate(frame)) == [False, False, True, True]
+
+
+def test_columns_discovery():
+    expr = And([
+        Comparison("<", A, Literal(1)),
+        Between(B, Literal(0), Literal(9)),
+    ])
+    assert expr.columns() == {"t.a", "t.b"}
+
+
+def test_conjuncts_flattening():
+    expr = And([
+        Comparison("<", A, Literal(1)),
+        And([Comparison(">", B, Literal(0)), Comparison("=", A, B)]),
+    ])
+    assert len(conjuncts(expr)) == 3
+
+
+def test_conjunction_builder():
+    assert conjunction([]) is None
+    single = Comparison("<", A, Literal(1))
+    assert conjunction([single]) is single
+    combined = conjunction([single, Comparison(">", B, Literal(0))])
+    assert isinstance(combined, And)
+
+
+def test_aggregate_validation():
+    with pytest.raises(ValueError):
+        Aggregate("median", A, "m")
+    agg = Aggregate("SUM", A, "total")
+    assert agg.func == "sum"
+    assert agg.columns() == {"t.a"}
+
+
+def test_invalid_operators_rejected():
+    with pytest.raises(ValueError):
+        Comparison("~", A, Literal(1))
+    with pytest.raises(ValueError):
+        Arithmetic("%", A, Literal(1))
+    with pytest.raises(ValueError):
+        And([])
+    with pytest.raises(ValueError):
+        Or([])
+
+
+def test_to_sql_round_trippable_text():
+    expr = And([
+        Between(A, Literal(1), Literal(3)),
+        InList(S, ["fig"]),
+        Comparison("<>", B, Literal(2)),
+    ])
+    text = expr.to_sql()
+    assert "BETWEEN" in text and "IN" in text and "<>" in text

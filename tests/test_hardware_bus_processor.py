@@ -1,0 +1,211 @@
+"""Unit tests for the PCIe bus and processor models."""
+
+import pytest
+
+from repro.hardware import PCIeBus, Processor, ProcessorKind
+from repro.hardware.calibration import COGADB_PROFILE, OCELOT_PROFILE, GIB
+from repro.hardware.system import HardwareSystem, SystemConfig
+from repro.metrics import MetricsCollector
+from repro.sim import Environment
+
+
+def test_transfer_time_formula():
+    env = Environment()
+    bus = PCIeBus(env, bandwidth_bytes_per_second=1000.0, latency_seconds=0.5)
+    assert bus.transfer_time(2000) == pytest.approx(0.5 + 2.0)
+
+
+def test_transfer_advances_clock_and_records_metrics():
+    env = Environment()
+    metrics = MetricsCollector()
+    bus = PCIeBus(env, 1000.0, latency_seconds=0.0, metrics=metrics)
+
+    def proc():
+        yield from bus.transfer(500, "h2d")
+        yield from bus.transfer(250, "d2h")
+
+    env.process(proc())
+    env.run()
+    assert env.now == pytest.approx(0.75)
+    assert metrics.cpu_to_gpu_bytes == 500
+    assert metrics.gpu_to_cpu_bytes == 250
+    assert metrics.cpu_to_gpu_seconds == pytest.approx(0.5)
+    assert metrics.gpu_to_cpu_seconds == pytest.approx(0.25)
+
+
+def test_concurrent_transfers_serialize_on_the_bus():
+    env = Environment()
+    bus = PCIeBus(env, 1000.0)
+    ends = []
+
+    def mover(name):
+        yield from bus.transfer(1000, "h2d")
+        ends.append((name, env.now))
+
+    env.process(mover("a"))
+    env.process(mover("b"))
+    env.run()
+    # Each transfer takes 1s of wire time; the second waits for the first.
+    assert ends == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+
+def test_zero_byte_transfer_is_free():
+    env = Environment()
+    metrics = MetricsCollector()
+    bus = PCIeBus(env, 1000.0, metrics=metrics)
+
+    def proc():
+        yield from bus.transfer(0, "h2d")
+
+    env.process(proc())
+    env.run()
+    assert env.now == 0.0
+    assert metrics.cpu_to_gpu_bytes == 0
+
+
+def test_bad_direction_rejected():
+    env = Environment()
+    bus = PCIeBus(env, 1000.0)
+    with pytest.raises(ValueError):
+        list(bus.transfer(10, "sideways"))
+
+
+def test_processor_executes_and_records():
+    env = Environment()
+    metrics = MetricsCollector()
+    cpu = Processor(env, "cpu", ProcessorKind.CPU, metrics=metrics)
+
+    def proc():
+        yield from cpu.execute(2.0)
+
+    env.process(proc())
+    env.run()
+    assert env.now == 2.0
+    assert metrics.operators_per_processor["cpu"] == 1
+    assert metrics.busy_seconds["cpu"] == pytest.approx(2.0)
+
+
+def test_processor_fair_sharing_two_equal_jobs():
+    env = Environment()
+    gpu = Processor(env, "gpu", ProcessorKind.GPU)
+    ends = []
+
+    def op(name):
+        yield from gpu.execute(1.0)
+        ends.append((name, env.now))
+
+    env.process(op("a"))
+    env.process(op("b"))
+    env.run()
+    # Two concurrent 1s jobs share the device: both finish at 2s.
+    assert ends == [("a", pytest.approx(2.0)), ("b", pytest.approx(2.0))]
+
+
+def test_processor_fair_sharing_staggered_arrivals():
+    env = Environment()
+    cpu = Processor(env, "cpu", ProcessorKind.CPU)
+    ends = {}
+
+    def first():
+        yield from cpu.execute(2.0)
+        ends["first"] = env.now
+
+    def second():
+        yield env.timeout(1.0)
+        yield from cpu.execute(2.0)
+        ends["second"] = env.now
+
+    env.process(first())
+    env.process(second())
+    env.run()
+    # first runs alone for 1s (1s of work done), then shares: the
+    # remaining 1s takes 2s -> finishes at 3s.  second then runs its
+    # remaining 1s alone -> finishes at 4s.
+    assert ends["first"] == pytest.approx(3.0)
+    assert ends["second"] == pytest.approx(4.0)
+
+
+def test_processor_total_throughput_independent_of_concurrency():
+    """A fixed amount of work finishes at the same time regardless of
+    how many operators carry it (the paper's 'ideal system')."""
+    for n_jobs in (1, 2, 5, 10):
+        env = Environment()
+        cpu = Processor(env, "cpu", ProcessorKind.CPU)
+        for _ in range(n_jobs):
+            env.process(cpu.execute(10.0 / n_jobs))
+        env.run()
+        assert env.now == pytest.approx(10.0)
+
+
+def test_processor_zero_work_completes_immediately():
+    env = Environment()
+    cpu = Processor(env, "cpu", ProcessorKind.CPU)
+    done = []
+
+    def op():
+        yield cpu.submit(0.0)
+        done.append(env.now)
+
+    env.process(op())
+    env.run()
+    assert done == [0.0]
+    assert cpu.active_jobs == 0
+
+
+def test_processor_estimated_drain():
+    env = Environment()
+    cpu = Processor(env, "cpu", ProcessorKind.CPU)
+    cpu.submit(3.0)
+    cpu.submit(1.0)
+    assert cpu.estimated_drain_seconds() == pytest.approx(4.0)
+
+
+def test_profile_gpu_faster_than_cpu_when_hot():
+    for profile in (COGADB_PROFILE, OCELOT_PROFILE):
+        for op_kind in ("selection", "join", "groupby", "sort"):
+            assert profile.speedup(op_kind, 256 * 1024 * 1024) > 1.5, (
+                profile.name,
+                op_kind,
+            )
+
+
+def test_profile_selection_footprint_matches_paper():
+    column = 218 * 1024 * 1024
+    footprint = COGADB_PROFILE.footprint_bytes("selection", column)
+    assert footprint == int(3.25 * column)
+
+
+def test_cold_transfer_dominates_gpu_selection():
+    """Paper Fig. 1: moving the input costs more than the GPU saves."""
+    config = SystemConfig()
+    column = 240 * 1024 * 1024
+    gpu_time = COGADB_PROFILE.compute_seconds("selection", ProcessorKind.GPU, column)
+    cpu_time = COGADB_PROFILE.compute_seconds("selection", ProcessorKind.CPU, column)
+    transfer = column / config.pcie_bandwidth_bytes_per_second
+    assert gpu_time + transfer > cpu_time
+    assert gpu_time * 5 < cpu_time
+
+
+def test_system_config_heap_is_remainder():
+    config = SystemConfig(gpu_memory_bytes=4 * GIB, gpu_cache_bytes=1 * GIB)
+    assert config.gpu_heap_bytes == 3 * GIB
+
+
+def test_system_config_validation():
+    with pytest.raises(ValueError):
+        SystemConfig(gpu_memory_bytes=1 * GIB, gpu_cache_bytes=2 * GIB)
+
+
+def test_hardware_system_wiring():
+    env = Environment()
+    system = HardwareSystem(env, SystemConfig(gpu_cache_bytes=GIB))
+    assert system.cpu.kind is ProcessorKind.CPU
+    assert system.gpu.kind is ProcessorKind.GPU
+    assert system.gpu_heap.capacity == system.config.gpu_heap_bytes
+    assert system.gpu_cache.capacity == GIB
+    assert system.processor("cpu") is system.cpu
+    with pytest.raises(KeyError):
+        system.processor("tpu")
+    # cache clock is wired to the environment
+    system.gpu_cache.admit("col", 10)
+    assert system.gpu_cache.entry("col").inserted_at == env.now

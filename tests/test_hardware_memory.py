@@ -1,0 +1,98 @@
+"""Unit tests for the device heap allocator."""
+
+import pytest
+
+from repro.hardware import DeviceHeap, DeviceOutOfMemory
+from repro.metrics import MetricsCollector
+
+
+def test_allocate_and_free_accounting():
+    heap = DeviceHeap(1000)
+    a = heap.allocate(400, owner="op1")
+    b = heap.allocate(600, owner="op2")
+    assert heap.used == 1000
+    assert heap.available == 0
+    a.free()
+    assert heap.used == 600
+    b.free()
+    assert heap.used == 0
+    assert heap.live_allocations == 0
+
+
+def test_over_allocation_raises():
+    heap = DeviceHeap(100)
+    heap.allocate(80)
+    with pytest.raises(DeviceOutOfMemory) as excinfo:
+        heap.allocate(50)
+    assert excinfo.value.requested == 50
+    assert excinfo.value.available == 20
+
+
+def test_exact_fit_allocation_succeeds():
+    heap = DeviceHeap(100)
+    allocation = heap.allocate(100)
+    assert heap.available == 0
+    allocation.free()
+    assert heap.available == 100
+
+
+def test_free_is_idempotent():
+    heap = DeviceHeap(100)
+    allocation = heap.allocate(10)
+    allocation.free()
+    allocation.free()  # no error, no double accounting
+    assert heap.used == 0
+
+
+def test_shrink_releases_partial_space():
+    heap = DeviceHeap(100)
+    allocation = heap.allocate(80)
+    allocation.shrink(30)
+    assert heap.used == 30
+    assert allocation.nbytes == 30
+    allocation.free()
+    assert heap.used == 0
+
+
+def test_shrink_cannot_grow():
+    heap = DeviceHeap(100)
+    allocation = heap.allocate(10)
+    with pytest.raises(ValueError):
+        allocation.shrink(20)
+
+
+def test_shrink_after_free_is_error():
+    heap = DeviceHeap(100)
+    allocation = heap.allocate(10)
+    allocation.free()
+    with pytest.raises(RuntimeError):
+        allocation.shrink(5)
+
+
+def test_negative_and_zero_sizes():
+    heap = DeviceHeap(100)
+    with pytest.raises(ValueError):
+        heap.allocate(-1)
+    zero = heap.allocate(0)
+    assert heap.used == 0
+    zero.free()
+
+
+def test_can_allocate_probe():
+    heap = DeviceHeap(100)
+    assert heap.can_allocate(100)
+    assert not heap.can_allocate(101)
+    heap.allocate(60)
+    assert heap.can_allocate(40)
+    assert not heap.can_allocate(41)
+
+
+def test_peak_usage_recorded_in_metrics():
+    metrics = MetricsCollector()
+    heap = DeviceHeap(1000, metrics=metrics)
+    a = heap.allocate(300)
+    b = heap.allocate(500)
+    a.free()
+    heap.allocate(100)
+    assert metrics.peak_heap_bytes == 800
+    b.free()

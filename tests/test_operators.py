@@ -1,0 +1,433 @@
+"""Unit tests for the physical operators (functional semantics and
+nominal-size accounting) against brute-force numpy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import (
+    Aggregate,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Literal,
+)
+from repro.engine.intermediates import OperatorResult, ResultFrame, TidSet
+from repro.engine.operators import (
+    GroupByAggregate,
+    HashJoin,
+    Limit,
+    Materialize,
+    PhysicalPlan,
+    RefineSelect,
+    ScanSelect,
+    Sort,
+    TidIntersect,
+)
+from repro.engine.operators.base import TID_BYTES
+
+
+AMOUNT = ColumnRef("sales", "amount")
+PRICE = ColumnRef("sales", "price")
+SKEY = ColumnRef("sales", "skey")
+SID = ColumnRef("store", "id")
+REGION = ColumnRef("store", "region")
+SIZE = ColumnRef("store", "size")
+
+
+class TestScanSelect:
+    def test_matches_numpy_mask(self, toy_db):
+        scan = ScanSelect("sales", Comparison("<", AMOUNT, Literal(30)))
+        result = scan.run(toy_db, [])
+        expected = np.flatnonzero(
+            toy_db.column("sales.amount").values < 30
+        )
+        assert np.array_equal(result.payload.positions("sales"), expected)
+
+    def test_nominal_rows_scale_with_selectivity(self, toy_db):
+        scan = ScanSelect("sales", Comparison("<", AMOUNT, Literal(30)))
+        result = scan.run(toy_db, [])
+        actual_sel = result.actual_rows / toy_db.table("sales").actual_rows
+        expected_nominal = round(actual_sel * 1_000_000)
+        assert result.nominal_rows == expected_nominal
+        assert result.nominal_bytes == expected_nominal * TID_BYTES
+
+    def test_bare_scan_is_metadata_only(self, toy_db):
+        scan = ScanSelect("sales")
+        result = scan.run(toy_db, [])
+        assert result.actual_rows == toy_db.table("sales").actual_rows
+        assert result.nominal_bytes == 0  # no materialised tid list
+        assert scan.required_columns() == set()
+
+    def test_input_bytes_cover_predicate_columns(self, toy_db):
+        predicate = Between(AMOUNT, Literal(1), Literal(5))
+        scan = ScanSelect("sales", predicate)
+        scan.run(toy_db, [])
+        expected = toy_db.column("sales.amount").nominal_bytes
+        assert scan.input_nominal_bytes(toy_db, []) == expected
+
+    def test_selecting_nothing(self, toy_db):
+        scan = ScanSelect("sales", Comparison(">", AMOUNT, Literal(10**9)))
+        result = scan.run(toy_db, [])
+        assert result.actual_rows == 0
+        assert result.nominal_rows == 0
+
+
+class TestRefineSelect:
+    def test_chain_equals_fused_predicate(self, toy_db):
+        scan = ScanSelect("sales", Comparison(">=", AMOUNT, Literal(20)))
+        refine = RefineSelect(
+            scan, "sales", Comparison("<=", AMOUNT, Literal(60))
+        )
+        base = scan.run(toy_db, [])
+        refined = refine.run(toy_db, [base])
+        values = toy_db.column("sales.amount").values
+        expected = np.flatnonzero((values >= 20) & (values <= 60))
+        assert np.array_equal(refined.payload.positions("sales"), expected)
+
+    def test_refine_on_other_column(self, toy_db):
+        scan = ScanSelect("sales", Comparison("<", AMOUNT, Literal(50)))
+        refine = RefineSelect(scan, "sales",
+                              Comparison("<", PRICE, Literal(10)))
+        base = scan.run(toy_db, [])
+        refined = refine.run(toy_db, [base])
+        amount = toy_db.column("sales.amount").values
+        price = toy_db.column("sales.price").values
+        expected = np.flatnonzero((amount < 50) & (price < 10))
+        assert np.array_equal(refined.payload.positions("sales"), expected)
+
+    def test_input_bytes_proportional_to_intermediate(self, toy_db):
+        scan = ScanSelect("sales", Comparison("<", AMOUNT, Literal(50)))
+        refine = RefineSelect(scan, "sales",
+                              Comparison("<", PRICE, Literal(10)))
+        base = scan.run(toy_db, [])
+        width = TID_BYTES + toy_db.column("sales.price").ctype.itemsize
+        assert refine.input_nominal_bytes(toy_db, [base]) == (
+            base.nominal_rows * width
+        )
+
+
+class TestTidIntersect:
+    def test_intersection(self, toy_db):
+        left = ScanSelect("sales", Comparison("<", AMOUNT, Literal(50)))
+        right = ScanSelect("sales", Comparison("<", PRICE, Literal(10)))
+        op = TidIntersect(left, right, "sales")
+        result = op.run(toy_db, [left.run(toy_db, []), right.run(toy_db, [])])
+        amount = toy_db.column("sales.amount").values
+        price = toy_db.column("sales.price").values
+        expected = np.flatnonzero((amount < 50) & (price < 10))
+        assert np.array_equal(result.payload.positions("sales"), expected)
+
+
+class TestHashJoin:
+    def build(self, toy_db, fact_pred=None, dim_pred=None):
+        probe = ScanSelect("sales", fact_pred)
+        build = ScanSelect("store", dim_pred)
+        join = HashJoin(probe, build, SKEY, SID)
+        probe_result = probe.run(toy_db, [])
+        build_result = build.run(toy_db, [])
+        return join, join.run(toy_db, [probe_result, build_result])
+
+    def test_fk_join_covers_all_fact_rows(self, toy_db):
+        _, result = self.build(toy_db)
+        # every sales row has a matching store (dense FK domain)
+        assert result.actual_rows == toy_db.table("sales").actual_rows
+
+    def test_join_alignment(self, toy_db):
+        _, result = self.build(toy_db)
+        sales_pos = result.payload.positions("sales")
+        store_pos = result.payload.positions("store")
+        skey = toy_db.column("sales.skey").values[sales_pos]
+        sid = toy_db.column("store.id").values[store_pos]
+        assert np.array_equal(skey, sid)
+
+    def test_filtered_build_side(self, toy_db):
+        _, result = self.build(
+            toy_db, dim_pred=Comparison("<", SIZE, Literal(50))
+        )
+        store_pos = result.payload.positions("store")
+        assert (toy_db.column("store.size").values[store_pos] < 50).all()
+        # oracle: count fact rows whose store has size < 50
+        small_ids = set(
+            toy_db.column("store.id").values[
+                toy_db.column("store.size").values < 50
+            ]
+        )
+        expected = sum(
+            1 for k in toy_db.column("sales.skey").values if int(k) in small_ids
+        )
+        assert result.actual_rows == expected
+
+    def test_duplicate_build_keys_expand(self):
+        from repro.storage import ColumnType, Database
+
+        db = Database()
+        left = db.create_table("l")
+        left.add_column("k", ColumnType.INT32,
+                        np.array([1, 2, 3], dtype=np.int32))
+        right = db.create_table("r")
+        right.add_column("k", ColumnType.INT32,
+                         np.array([2, 2, 9], dtype=np.int32))
+        join = HashJoin(
+            ScanSelect("l"), ScanSelect("r"),
+            ColumnRef("l", "k"), ColumnRef("r", "k"),
+        )
+        lres = join.children[0].run(db, [])
+        rres = join.children[1].run(db, [])
+        result = join.run(db, [lres, rres])
+        # key 2 matches twice, keys 1/3 not at all
+        assert result.actual_rows == 2
+        assert set(result.payload.table_names) == {"l", "r"}
+
+    def test_same_table_on_both_sides_rejected(self, toy_db):
+        probe = ScanSelect("sales")
+        build = ScanSelect("sales")
+        join = HashJoin(probe, build, SKEY, SKEY)
+        left = probe.run(toy_db, [])
+        right = build.run(toy_db, [])
+        with pytest.raises(ValueError):
+            join.run(toy_db, [left, right])
+
+    def test_required_columns_are_keys(self, toy_db):
+        join, _ = self.build(toy_db)
+        assert join.required_columns() == {"sales.skey", "store.id"}
+
+
+class TestGroupByAggregate:
+    def joined(self, toy_db):
+        probe = ScanSelect("sales")
+        build = ScanSelect("store")
+        join = HashJoin(probe, build, SKEY, SID)
+        return join.run(
+            toy_db, [probe.run(toy_db, []), build.run(toy_db, [])]
+        )
+
+    def test_sum_per_group_matches_oracle(self, toy_db):
+        joined = self.joined(toy_db)
+        op = GroupByAggregate(
+            ScanSelect("sales"),  # structural child, unused in run
+            [REGION],
+            [Aggregate("sum", AMOUNT, "total")],
+        )
+        result = op.run(toy_db, [joined])
+        frame = result.payload
+        # oracle with python dicts
+        skey = toy_db.column("sales.skey").values
+        amount = toy_db.column("sales.amount").values
+        region_col = toy_db.column("store.region")
+        expected = {}
+        for k, a in zip(skey, amount):
+            region = region_col.decode(region_col.values[k - 1])
+            expected[region] = expected.get(region, 0) + int(a)
+        got = dict(zip(frame.decoded("region"), frame.column("total")))
+        assert {k: int(v) for k, v in got.items()} == expected
+
+    def test_count_avg_min_max(self, toy_db):
+        joined = self.joined(toy_db)
+        op = GroupByAggregate(
+            ScanSelect("sales"),
+            [REGION],
+            [
+                Aggregate("count", Literal(1), "n"),
+                Aggregate("avg", AMOUNT, "mean"),
+                Aggregate("min", AMOUNT, "lo"),
+                Aggregate("max", AMOUNT, "hi"),
+            ],
+        )
+        result = op.run(toy_db, [joined])
+        frame = result.payload
+        assert int(frame.column("n").sum()) == toy_db.table("sales").actual_rows
+        assert (frame.column("lo") <= frame.column("hi")).all()
+        for n, mean, lo, hi in zip(
+            frame.column("n"), frame.column("mean"),
+            frame.column("lo"), frame.column("hi"),
+        ):
+            assert lo <= mean <= hi
+            assert n > 0
+
+    def test_scalar_aggregate(self, toy_db):
+        scan = ScanSelect("sales", Comparison("<", AMOUNT, Literal(30)))
+        scanned = scan.run(toy_db, [])
+        op = GroupByAggregate(
+            scan, [], [Aggregate("sum", Arithmetic("*", AMOUNT, PRICE), "rev")]
+        )
+        result = op.run(toy_db, [scanned])
+        amount = toy_db.column("sales.amount").values.astype(np.int64)
+        price = toy_db.column("sales.price").values.astype(np.int64)
+        mask = amount < 30
+        assert result.payload.column("rev")[0] == (amount * price)[mask].sum()
+        assert result.actual_rows == 1
+
+    def test_scalar_aggregate_over_empty_input(self, toy_db):
+        scan = ScanSelect("sales", Comparison(">", AMOUNT, Literal(10**9)))
+        scanned = scan.run(toy_db, [])
+        op = GroupByAggregate(
+            scan, [], [Aggregate("sum", AMOUNT, "s"),
+                       Aggregate("count", Literal(1), "n")]
+        )
+        result = op.run(toy_db, [scanned])
+        assert result.payload.column("s")[0] == 0
+        assert result.payload.column("n")[0] == 0
+
+    def test_groups_sorted_by_key(self, toy_db):
+        joined = self.joined(toy_db)
+        op = GroupByAggregate(
+            ScanSelect("sales"), [REGION],
+            [Aggregate("sum", AMOUNT, "total")],
+        )
+        frame = op.run(toy_db, [joined]).payload
+        decoded = frame.decoded("region")
+        assert decoded == sorted(decoded)
+
+    def test_needs_groups_or_aggregates(self, toy_db):
+        with pytest.raises(ValueError):
+            GroupByAggregate(ScanSelect("sales"), [], [])
+
+
+class TestMaterializeSortLimit:
+    def frame_result(self, toy_db):
+        scan = ScanSelect("sales", Comparison("<", AMOUNT, Literal(40)))
+        scanned = scan.run(toy_db, [])
+        mat = Materialize(scan, [("amount", AMOUNT), ("price", PRICE)])
+        return mat, mat.run(toy_db, [scanned]), scanned
+
+    def test_materialize_gathers_values(self, toy_db):
+        _, result, scanned = self.frame_result(toy_db)
+        positions = scanned.payload.positions("sales")
+        expected = toy_db.column("sales.amount").values[positions]
+        assert np.array_equal(result.payload.column("amount"), expected)
+
+    def test_materialize_is_cpu_only(self, toy_db):
+        mat, _, _ = self.frame_result(toy_db)
+        assert mat.cpu_only
+
+    def test_sort_single_key_desc(self, toy_db):
+        mat, result, _ = self.frame_result(toy_db)
+        sort = Sort(mat, [("amount", False)])
+        sorted_result = sort.run(toy_db, [result])
+        values = sorted_result.payload.column("amount")
+        assert np.array_equal(values, np.sort(values)[::-1])
+
+    def test_sort_multi_key(self, toy_db):
+        mat, result, _ = self.frame_result(toy_db)
+        sort = Sort(mat, [("price", True), ("amount", False)])
+        frame = sort.run(toy_db, [result]).payload
+        rows = list(zip(frame.column("price"), -frame.column("amount")))
+        assert rows == sorted(rows)
+
+    def test_sort_preserves_row_alignment(self, toy_db):
+        mat, result, _ = self.frame_result(toy_db)
+        before = set(
+            zip(result.payload.column("amount"), result.payload.column("price"))
+        )
+        frame = Sort(mat, [("amount", True)]).run(toy_db, [result]).payload
+        after = set(zip(frame.column("amount"), frame.column("price")))
+        assert before == after
+
+    def test_limit(self, toy_db):
+        mat, result, _ = self.frame_result(toy_db)
+        limited = Limit(mat, 5).run(toy_db, [result])
+        assert limited.actual_rows == 5
+        assert limited.nominal_rows == 5
+
+    def test_limit_larger_than_input(self, toy_db):
+        mat, result, _ = self.frame_result(toy_db)
+        limited = Limit(mat, 10**9).run(toy_db, [result])
+        assert limited.actual_rows == result.actual_rows
+
+    def test_limit_validation(self, toy_db):
+        mat, _, _ = self.frame_result(toy_db)
+        with pytest.raises(ValueError):
+            Limit(mat, -1)
+
+
+class TestPlanInfrastructure:
+    def make_plan(self, toy_db):
+        probe = ScanSelect("sales", Comparison("<", AMOUNT, Literal(40)))
+        build = ScanSelect("store")
+        join = HashJoin(probe, build, SKEY, SID)
+        agg = GroupByAggregate(join, [REGION],
+                               [Aggregate("sum", AMOUNT, "total")])
+        return PhysicalPlan(agg, name="test")
+
+    def test_post_order_traversal(self, toy_db):
+        plan = self.make_plan(toy_db)
+        kinds = [op.kind for op in plan.operators]
+        assert kinds == ["selection", "selection", "join", "groupby"]
+        assert len(plan.leaves) == 2
+
+    def test_required_columns_union(self, toy_db):
+        plan = self.make_plan(toy_db)
+        assert plan.required_columns() == {
+            "sales.amount", "sales.skey", "store.id", "store.region",
+        }
+
+    def test_assign_all(self, toy_db):
+        plan = self.make_plan(toy_db)
+        plan.assign_all("gpu")
+        assert all(op.placement == "gpu" for op in plan.operators)
+
+    def test_clone_resets_placement_and_ids(self, toy_db):
+        plan = self.make_plan(toy_db)
+        plan.assign_all("gpu")
+        twin = plan.clone()
+        assert all(op.placement is None for op in twin.operators)
+        original_ids = {op.op_id for op in plan.operators}
+        twin_ids = {op.op_id for op in twin.operators}
+        assert not original_ids & twin_ids
+
+    def test_clone_shares_memoised_results(self, toy_db):
+        from repro.engine.execution import execute_functional
+
+        plan = self.make_plan(toy_db)
+        execute_functional(plan, toy_db)
+        twin = plan.clone()
+        for original, copy in zip(plan.operators, twin.operators):
+            assert copy._cached_result is original._cached_result
+            assert copy._cached_result is not None
+
+    def test_produce_returns_fresh_result_objects(self, toy_db):
+        scan = ScanSelect("sales", Comparison("<", AMOUNT, Literal(40)))
+        first = scan.produce(toy_db, [])
+        second = scan.produce(toy_db, [])
+        assert first is not second
+        assert first.payload is second.payload  # shared numpy work
+        first.location = "gpu"
+        assert second.location == "cpu"
+
+
+class TestIntermediates:
+    def test_tidset_alignment_validation(self):
+        with pytest.raises(ValueError):
+            TidSet({"a": np.arange(3), "b": np.arange(4)})
+        with pytest.raises(ValueError):
+            TidSet({})
+
+    def test_result_frame_validation(self):
+        with pytest.raises(ValueError):
+            ResultFrame({})
+        with pytest.raises(ValueError):
+            ResultFrame({"a": np.arange(3), "b": np.arange(2)})
+
+    def test_frame_decoding(self):
+        frame = ResultFrame(
+            {"s": np.array([1, 0]), "v": np.array([5, 6])},
+            dictionaries={"s": ["x", "y"]},
+        )
+        assert frame.decoded("s") == ["y", "x"]
+        assert frame.row_tuples() == [("y", 5), ("x", 6)]
+
+    def test_operator_result_nominal_bytes(self):
+        result = OperatorResult(None, actual_rows=10, nominal_rows=1000,
+                                row_width_bytes=8)
+        assert result.nominal_bytes == 8000
+
+    def test_release_device_memory_idempotent(self):
+        from repro.hardware import DeviceHeap
+
+        heap = DeviceHeap(100)
+        result = OperatorResult(None, 1, 1, 4)
+        result.allocation = heap.allocate(50)
+        result.release_device_memory()
+        result.release_device_memory()
+        assert heap.used == 0

@@ -1,0 +1,209 @@
+"""Unit tests for the placement strategies."""
+
+import pytest
+
+from tests.conftest import make_context
+from repro.core import STRATEGY_NAMES, get_strategy
+from repro.core.placement import (
+    AdmissionControlGpu,
+    CpuOnly,
+    CriticalPath,
+    DataDrivenCompile,
+    DataDrivenRuntime,
+    GpuPreferred,
+    RuntimeHype,
+)
+from repro.engine import Planner
+from repro.engine.execution import execute_functional
+from repro.engine.operators import HashJoin, Materialize, ScanSelect
+from repro.hardware import SystemConfig
+from repro.hardware.calibration import GIB
+from repro.sql import bind
+
+
+JOIN_SQL = (
+    "select region, sum(amount) as s from sales, store "
+    "where skey = id and amount < 40 group by region order by s desc"
+)
+
+
+def make_plan(toy_db, sql=JOIN_SQL):
+    spec = bind(sql, toy_db, name="q")
+    return Planner(toy_db).plan(spec)
+
+
+def placements(plan):
+    return {op.label: op.placement for op in plan.operators}
+
+
+def test_registry_covers_paper_strategies():
+    for name in STRATEGY_NAMES:
+        strategy = get_strategy(name)
+        assert strategy is not None
+    with pytest.raises(KeyError):
+        get_strategy("quantum")
+
+
+def test_registry_returns_fresh_instances():
+    assert get_strategy("chopping") is not get_strategy("chopping")
+
+
+def test_cpu_only_assigns_everything_to_cpu(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    plan = make_plan(toy_db)
+    CpuOnly().prepare_plan(ctx, plan)
+    assert all(op.placement == "cpu" for op in plan.operators)
+
+
+def test_gpu_preferred_assigns_gpu_except_host_only(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    plan = make_plan(toy_db)
+    GpuPreferred().prepare_plan(ctx, plan)
+    for op in plan.operators:
+        if op.cpu_only:
+            assert op.placement == "cpu"
+        else:
+            assert op.placement == "gpu"
+
+
+def test_admission_control_is_gpu_preferred_with_limit():
+    strategy = AdmissionControlGpu()
+    assert strategy.admission_limit == 1
+    assert isinstance(strategy, GpuPreferred)
+
+
+def test_data_driven_compile_requires_cached_inputs(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    plan = make_plan(toy_db)
+    # nothing cached: every operator that reads a column runs on the CPU
+    # (a bare scan reads nothing and may be placed anywhere for free)
+    DataDrivenCompile().prepare_plan(ctx, plan)
+    for op in plan.operators:
+        if op.required_columns():
+            assert op.placement == "cpu", op.label
+
+
+def test_data_driven_compile_with_full_cache(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    for column in toy_db.columns():
+        hw.gpu_cache.admit(column.key, column.nominal_bytes, pinned=True)
+    plan = make_plan(toy_db)
+    DataDrivenCompile().prepare_plan(ctx, plan)
+    for op in plan.operators:
+        if op.cpu_only:
+            assert op.placement == "cpu"
+        elif any(c.cpu_only or c.placement == "cpu" for c in op.children):
+            assert op.placement == "cpu"
+        else:
+            assert op.placement == "gpu"
+
+
+def test_data_driven_chain_stops_at_first_uncached(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    # cache only the fact-side columns, not the dimension keys
+    for key in ("sales.amount", "sales.skey"):
+        column = toy_db.column(key)
+        hw.gpu_cache.admit(key, column.nominal_bytes, pinned=True)
+    plan = make_plan(toy_db)
+    DataDrivenCompile().prepare_plan(ctx, plan)
+    by_type = {type(op): op for op in plan.operators}
+    scan_fact = [
+        op for op in plan.operators
+        if isinstance(op, ScanSelect) and op.table == "sales"
+    ][0]
+    join = by_type[HashJoin]
+    assert scan_fact.placement == "gpu"
+    assert join.placement == "cpu"  # store.id not cached
+    # and everything above the switch stays on the CPU
+    for op in plan.operators:
+        if op.op_id > join.op_id:
+            assert op.placement == "cpu"
+
+
+def test_data_driven_runtime_reacts_to_child_location(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    for column in toy_db.columns():
+        hw.gpu_cache.admit(column.key, column.nominal_bytes, pinned=True)
+    plan = make_plan(toy_db)
+    results = {}
+    for op in plan.operators:
+        child_results = [results[c.op_id] for c in op.children]
+        results[op.op_id] = op.run(toy_db, child_results)
+    strategy = DataDrivenRuntime()
+    join = [op for op in plan.operators if isinstance(op, HashJoin)][0]
+    child_results = [results[c.op_id] for c in join.children]
+    # children on the GPU: join goes to the GPU
+    for r in child_results:
+        r.location = "gpu"
+    assert strategy.choose_processor(ctx, join, child_results) == "gpu"
+    # one child fell back to the CPU (abort): join follows
+    child_results[0].location = "cpu"
+    assert strategy.choose_processor(ctx, join, child_results) == "cpu"
+
+
+def test_runtime_hype_prefers_gpu_when_hot(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    for column in toy_db.columns():
+        hw.gpu_cache.admit(column.key, column.nominal_bytes, pinned=True)
+    plan = make_plan(toy_db)
+    scan = plan.leaves[0]
+    strategy = RuntimeHype()
+    assert strategy.choose_processor(ctx, scan, []) == "gpu"
+
+
+def test_runtime_hype_avoids_gpu_when_transfers_dominate(toy_db):
+    env, hw, ctx = make_context(toy_db)  # cold cache
+    plan = make_plan(toy_db)
+    scan = [op for op in plan.leaves if op.table == "sales"][0]
+    strategy = RuntimeHype()
+    assert strategy.choose_processor(ctx, scan, []) == "cpu"
+
+
+def test_runtime_hype_balances_load(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    for column in toy_db.columns():
+        hw.gpu_cache.admit(column.key, column.nominal_bytes, pinned=True)
+    plan = make_plan(toy_db)
+    scan = [op for op in plan.leaves if op.table == "sales"][0]
+    strategy = RuntimeHype()
+    assert strategy.choose_processor(ctx, scan, []) == "gpu"
+    # pile estimated work on the GPU: the placer diverts to the CPU
+    ctx.load.assign("gpu", 1e6)
+    assert strategy.choose_processor(ctx, scan, []) == "cpu"
+
+
+def test_critical_path_all_cpu_when_cold(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    plan = make_plan(toy_db)
+    CriticalPath().prepare_plan(ctx, plan)
+    # cold cache: transfers dominate, the optimizer keeps the CPU plan
+    assert all(op.placement == "cpu" for op in plan.operators)
+
+
+def test_critical_path_uses_gpu_when_hot(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    for column in toy_db.columns():
+        hw.gpu_cache.admit(column.key, column.nominal_bytes, pinned=True)
+    plan = make_plan(toy_db)
+    CriticalPath().prepare_plan(ctx, plan)
+    assert any(op.placement == "gpu" for op in plan.operators)
+
+
+def test_critical_path_binary_ops_need_both_children_on_gpu(toy_db):
+    env, hw, ctx = make_context(toy_db)
+    for column in toy_db.columns():
+        hw.gpu_cache.admit(column.key, column.nominal_bytes, pinned=True)
+    plan = make_plan(toy_db)
+    CriticalPath().prepare_plan(ctx, plan)
+    for op in plan.operators:
+        if op.placement == "gpu" and op.children:
+            assert all(c.placement == "gpu" for c in op.children)
+
+
+def test_strategy_executor_attributes():
+    assert get_strategy("chopping").executor == "chopping"
+    assert get_strategy("data_driven_chopping").executor == "chopping"
+    assert get_strategy("runtime").executor == "eager"
+    assert get_strategy("data_driven").admit_to_cache is False
+    assert get_strategy("data_driven_chopping").uses_data_placement
+    assert get_strategy("gpu_only").admit_to_cache is True

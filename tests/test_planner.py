@@ -1,0 +1,145 @@
+"""Unit tests for the strategic optimizer (planner)."""
+
+import pytest
+
+from repro.engine import Planner
+from repro.engine.logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.engine.operators import (
+    GroupByAggregate,
+    HashJoin,
+    Limit,
+    Materialize,
+    ScanSelect,
+    Sort,
+)
+from repro.engine.planner import PlanningError
+from repro.sql import bind
+
+
+def test_single_table_plan_shape(toy_db):
+    spec = bind("select amount from sales where amount < 10", toy_db)
+    plan = Planner(toy_db).plan(spec)
+    kinds = [type(op) for op in plan.operators]
+    assert kinds == [ScanSelect, Materialize]
+
+
+def test_join_plan_shape(toy_db):
+    spec = bind(
+        "select region, sum(amount) as s from sales, store "
+        "where skey = id group by region order by s desc limit 2",
+        toy_db,
+    )
+    plan = Planner(toy_db).plan(spec)
+    kinds = [type(op) for op in plan.operators]
+    assert kinds == [ScanSelect, ScanSelect, HashJoin, GroupByAggregate,
+                     Sort, Limit]
+
+
+def test_probe_side_is_largest_table(toy_db):
+    spec = bind(
+        "select sum(amount) as s from sales, store where skey = id",
+        toy_db,
+    )
+    plan = Planner(toy_db).plan(spec)
+    join = [op for op in plan.operators if isinstance(op, HashJoin)][0]
+    assert join.probe_key.table == "sales"
+    assert join.build_key.table == "store"
+
+
+def test_logical_plan_structure(toy_db):
+    spec = bind(
+        "select region, sum(amount) as s from sales, store "
+        "where skey = id group by region order by s limit 1",
+        toy_db,
+    )
+    node = Planner(toy_db).logical_plan(spec)
+    assert isinstance(node, LogicalLimit)
+    assert isinstance(node.children[0], LogicalSort)
+    assert isinstance(node.children[0].children[0], LogicalAggregate)
+    join = node.children[0].children[0].children[0]
+    assert isinstance(join, LogicalJoin)
+    assert isinstance(join.children[0], LogicalScan)
+    explained = node.explain()
+    assert "Join" in explained and "Aggregate" in explained
+
+
+def test_selectivity_estimation(toy_db):
+    planner = Planner(toy_db)
+    from repro.engine.expressions import ColumnRef, Comparison, Literal
+
+    # amount uniform in [1, 100): ~30% below 30
+    predicate = Comparison("<", ColumnRef("sales", "amount"), Literal(30))
+    estimate = planner.estimate_selectivity("sales", predicate)
+    assert 0.15 < estimate < 0.45
+    assert planner.estimate_selectivity("sales", None) == 1.0
+
+
+def test_join_order_prefers_selective_dimensions(ssb_db):
+    from repro.workloads import ssb
+
+    planner = Planner(ssb_db)
+    spec = bind(ssb.QUERIES["Q3.4"], ssb_db, name="Q3.4")
+    plan = planner.plan(spec)
+    joins = [op for op in plan.operators if isinstance(op, HashJoin)]
+    # greedy ordering: the first build side has the smallest estimated
+    # filtered cardinality among the dimensions
+    estimates = {
+        table: planner.estimate_filtered_rows(table, spec.filters.get(table))
+        for table in spec.tables
+        if table != "lineorder"
+    }
+    first_build = joins[0].build_key.table
+    assert estimates[first_build] == min(estimates.values())
+
+
+def test_disconnected_join_graph_rejected(toy_db):
+    spec = bind("select amount from sales, store where amount < 5", toy_db)
+    # no join edge between the two tables
+    with pytest.raises(PlanningError):
+        Planner(toy_db).plan(spec)
+
+
+def test_cyclic_join_edges_rejected(tpch_db):
+    sql = (
+        "select n_name, sum(l_extendedprice) as s "
+        "from customer, orders, lineitem, supplier, nation "
+        "where c_custkey = o_custkey and l_orderkey = o_orderkey "
+        "and l_suppkey = s_suppkey and s_nationkey = n_nationkey "
+        "and c_nationkey = n_nationkey "  # closes a cycle
+        "group by n_name"
+    )
+    spec = bind(sql, tpch_db)
+    with pytest.raises(PlanningError):
+        Planner(tpch_db).plan(spec)
+
+
+def test_all_ssb_queries_plan(ssb_db):
+    from repro.workloads import ssb
+
+    planner = Planner(ssb_db)
+    for name, sql in ssb.QUERIES.items():
+        plan = planner.plan(bind(sql, ssb_db, name=name))
+        assert plan.operators, name
+
+
+def test_all_tpch_queries_plan(tpch_db):
+    from repro.workloads import tpch
+
+    planner = Planner(tpch_db)
+    for name, sql in tpch.QUERIES.items():
+        plan = planner.plan(bind(sql, tpch_db, name=name))
+        assert plan.operators, name
+
+
+def test_non_aggregate_query_gets_projection(toy_db):
+    spec = bind("select amount, price from sales order by amount", toy_db)
+    node = Planner(toy_db).logical_plan(spec)
+    assert isinstance(node, LogicalSort)
+    assert isinstance(node.children[0], LogicalProject)

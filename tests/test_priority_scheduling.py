@@ -1,0 +1,103 @@
+"""Tests for the PriorityStore and SJF ready-queue scheduling."""
+
+import pytest
+
+from repro.harness import run_workload
+from repro.sim import Environment, PriorityStore
+from repro.workloads import sql_workload
+
+
+class TestPriorityStore:
+    def test_lowest_priority_first(self):
+        env = Environment()
+        store = PriorityStore(env)
+        store.put("slow", priority=5.0)
+        store.put("fast", priority=1.0)
+        store.put("medium", priority=3.0)
+        received = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(consumer())
+        env.run()
+        assert received == ["fast", "medium", "slow"]
+
+    def test_ties_break_in_insertion_order(self):
+        env = Environment()
+        store = PriorityStore(env)
+        for name in "abc":
+            store.put(name, priority=1.0)
+        received = []
+
+        def consumer():
+            for _ in range(3):
+                received.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        assert received == ["a", "b", "c"]
+
+    def test_blocking_get(self):
+        env = Environment()
+        store = PriorityStore(env)
+        received = []
+
+        def consumer():
+            received.append((yield store.get()))
+
+        def producer():
+            yield env.timeout(2.0)
+            store.put("late", priority=0.0)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == ["late"]
+        assert env.now == 2.0
+
+    def test_items_snapshot_in_delivery_order(self):
+        env = Environment()
+        store = PriorityStore(env)
+        store.put("b", priority=2.0)
+        store.put("a", priority=1.0)
+        assert store.items == ["a", "b"]
+        assert len(store) == 2
+
+
+class TestSjfChopping:
+    QUERIES = {
+        "short": "select sum(price) as p from sales where amount < 5",
+        "long": (
+            "select region, sum(amount * price) as s from sales, store "
+            "where skey = id group by region"
+        ),
+    }
+
+    def test_invalid_scheduling_rejected(self, toy_db):
+        queries = sql_workload(toy_db, self.QUERIES)
+        with pytest.raises(ValueError):
+            run_workload(toy_db, queries, "chopping", scheduling="lifo")
+
+    def test_sjf_results_identical_to_fifo(self, toy_db):
+        queries = sql_workload(toy_db, self.QUERIES)
+        fifo = run_workload(toy_db, queries, "chopping", users=4,
+                            repetitions=4, collect_results=True)
+        sjf = run_workload(toy_db, queries, "chopping", users=4,
+                           repetitions=4, scheduling="sjf",
+                           collect_results=True)
+        for name in self.QUERIES:
+            assert (fifo.results[name].row_tuples()
+                    == sjf.results[name].row_tuples())
+
+    def test_sjf_helps_short_queries_under_load(self, toy_db):
+        queries = sql_workload(toy_db, self.QUERIES)
+        fifo = run_workload(toy_db, queries, "chopping", users=8,
+                            repetitions=8)
+        sjf = run_workload(toy_db, queries, "chopping", users=8,
+                           repetitions=8, scheduling="sjf")
+        # SJF must not hurt the short query's mean latency
+        assert (sjf.metrics.mean_latency("short")
+                <= fifo.metrics.mean_latency("short") * 1.05)

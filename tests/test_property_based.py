@@ -1,0 +1,340 @@
+"""Property-based tests (hypothesis) for the core data structures and
+operator kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.expressions import (
+    Aggregate,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    Literal,
+)
+from repro.engine.operators import (
+    GroupByAggregate,
+    HashJoin,
+    ScanSelect,
+    Sort,
+    Materialize,
+)
+from repro.hardware import DeviceCache, DeviceHeap, DeviceOutOfMemory
+from repro.sim import Environment
+from repro.storage import ColumnType, Database
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+small_ints = st.integers(min_value=-50, max_value=50)
+value_arrays = st.lists(small_ints, min_size=1, max_size=200)
+
+
+def build_db(values_a, values_b, keys):
+    db = Database()
+    n = len(values_a)
+    fact = db.create_table("f", nominal_rows=n * 1000)
+    fact.add_column("a", ColumnType.INT32,
+                    np.array(values_a, dtype=np.int32))
+    fact.add_column("b", ColumnType.INT32,
+                    np.array(values_b, dtype=np.int32))
+    fact.add_column("k", ColumnType.INT32, np.array(keys, dtype=np.int32))
+    return db
+
+
+@st.composite
+def fact_tables(draw):
+    n = draw(st.integers(min_value=1, max_value=120))
+    values_a = draw(st.lists(small_ints, min_size=n, max_size=n))
+    values_b = draw(st.lists(small_ints, min_size=n, max_size=n))
+    keys = draw(st.lists(st.integers(0, 8), min_size=n, max_size=n))
+    return build_db(values_a, values_b, keys)
+
+
+# ---------------------------------------------------------------------------
+# selection kernel
+# ---------------------------------------------------------------------------
+
+@given(db=fact_tables(), low=small_ints, high=small_ints)
+@settings(max_examples=60, deadline=None)
+def test_selection_matches_oracle(db, low, high):
+    predicate = Between(ColumnRef("f", "a"), Literal(low), Literal(high))
+    result = ScanSelect("f", predicate).run(db, [])
+    values = db.column("f.a").values
+    oracle = np.flatnonzero((values >= low) & (values <= high))
+    assert np.array_equal(result.payload.positions("f"), oracle)
+
+
+@given(db=fact_tables(), threshold=small_ints)
+@settings(max_examples=60, deadline=None)
+def test_selection_tids_sorted_and_unique(db, threshold):
+    predicate = Comparison("<", ColumnRef("f", "a"), Literal(threshold))
+    result = ScanSelect("f", predicate).run(db, [])
+    tids = result.payload.positions("f")
+    assert np.array_equal(tids, np.unique(tids))
+
+
+@given(db=fact_tables(), values=st.lists(small_ints, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_in_list_matches_python_in(db, values):
+    predicate = InList(ColumnRef("f", "a"), values)
+    result = ScanSelect("f", predicate).run(db, [])
+    oracle = [
+        i for i, v in enumerate(db.column("f.a").values) if int(v) in values
+    ]
+    assert result.payload.positions("f").tolist() == oracle
+
+
+# ---------------------------------------------------------------------------
+# join kernel
+# ---------------------------------------------------------------------------
+
+@st.composite
+def join_inputs(draw):
+    n_left = draw(st.integers(1, 80))
+    n_right = draw(st.integers(1, 40))
+    left_keys = draw(st.lists(st.integers(0, 10), min_size=n_left,
+                              max_size=n_left))
+    right_keys = draw(st.lists(st.integers(0, 10), min_size=n_right,
+                               max_size=n_right))
+    db = Database()
+    left = db.create_table("l")
+    left.add_column("k", ColumnType.INT32, np.array(left_keys, dtype=np.int32))
+    right = db.create_table("r")
+    right.add_column("k", ColumnType.INT32,
+                     np.array(right_keys, dtype=np.int32))
+    return db
+
+
+@given(db=join_inputs())
+@settings(max_examples=60, deadline=None)
+def test_join_matches_nested_loop_oracle(db):
+    join = HashJoin(
+        ScanSelect("l"), ScanSelect("r"),
+        ColumnRef("l", "k"), ColumnRef("r", "k"),
+    )
+    left = join.children[0].run(db, [])
+    right = join.children[1].run(db, [])
+    result = join.run(db, [left, right])
+    left_keys = db.column("l.k").values
+    right_keys = db.column("r.k").values
+    oracle = sorted(
+        (i, j)
+        for i in range(len(left_keys))
+        for j in range(len(right_keys))
+        if left_keys[i] == right_keys[j]
+    )
+    got = sorted(
+        zip(
+            result.payload.positions("l").tolist(),
+            result.payload.positions("r").tolist(),
+        )
+    )
+    assert got == oracle
+
+
+# ---------------------------------------------------------------------------
+# aggregation kernel
+# ---------------------------------------------------------------------------
+
+@given(db=fact_tables())
+@settings(max_examples=60, deadline=None)
+def test_groupby_sum_matches_python_dict(db):
+    scan = ScanSelect("f")
+    scanned = scan.run(db, [])
+    op = GroupByAggregate(
+        scan, [ColumnRef("f", "k")],
+        [Aggregate("sum", ColumnRef("f", "a"), "s"),
+         Aggregate("count", Literal(1), "n")],
+    )
+    frame = op.run(db, [scanned]).payload
+    keys = db.column("f.k").values
+    values = db.column("f.a").values
+    oracle_sum, oracle_count = {}, {}
+    for k, v in zip(keys, values):
+        oracle_sum[int(k)] = oracle_sum.get(int(k), 0) + int(v)
+        oracle_count[int(k)] = oracle_count.get(int(k), 0) + 1
+    got = dict(zip(frame.column("k").tolist(), frame.column("s").tolist()))
+    counts = dict(zip(frame.column("k").tolist(), frame.column("n").tolist()))
+    assert got == oracle_sum
+    assert counts == oracle_count
+
+
+@given(db=fact_tables())
+@settings(max_examples=40, deadline=None)
+def test_groupby_min_max_bound_avg(db):
+    scan = ScanSelect("f")
+    scanned = scan.run(db, [])
+    op = GroupByAggregate(
+        scan, [ColumnRef("f", "k")],
+        [Aggregate("min", ColumnRef("f", "a"), "lo"),
+         Aggregate("avg", ColumnRef("f", "a"), "mid"),
+         Aggregate("max", ColumnRef("f", "a"), "hi")],
+    )
+    frame = op.run(db, [scanned]).payload
+    assert (frame.column("lo") <= frame.column("mid") + 1e-9).all()
+    assert (frame.column("mid") <= frame.column("hi") + 1e-9).all()
+
+
+# ---------------------------------------------------------------------------
+# sort kernel
+# ---------------------------------------------------------------------------
+
+@given(db=fact_tables(), ascending=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_sort_is_a_permutation_in_order(db, ascending):
+    scan = ScanSelect("f")
+    scanned = scan.run(db, [])
+    mat = Materialize(scan, [("a", ColumnRef("f", "a")),
+                             ("b", ColumnRef("f", "b"))])
+    frame_result = mat.run(db, [scanned])
+    sort = Sort(mat, [("a", ascending)])
+    sorted_frame = sort.run(db, [frame_result]).payload
+    values = sorted_frame.column("a")
+    if ascending:
+        assert (np.diff(values) >= 0).all()
+    else:
+        assert (np.diff(values) <= 0).all()
+    assert sorted(values.tolist()) == sorted(
+        db.column("f.a").values.tolist()
+    )
+
+
+# ---------------------------------------------------------------------------
+# device heap
+# ---------------------------------------------------------------------------
+
+@given(
+    capacity=st.integers(1, 10_000),
+    requests=st.lists(st.integers(0, 4000), max_size=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_heap_accounting_invariants(capacity, requests):
+    heap = DeviceHeap(capacity)
+    live = []
+    for nbytes in requests:
+        try:
+            live.append(heap.allocate(nbytes))
+        except DeviceOutOfMemory:
+            # failure must not change accounting
+            assert heap.used == sum(a.nbytes for a in live)
+        assert 0 <= heap.used <= heap.capacity
+        assert heap.used == sum(a.nbytes for a in live)
+    for allocation in live:
+        allocation.free()
+    assert heap.used == 0
+
+
+# ---------------------------------------------------------------------------
+# device cache
+# ---------------------------------------------------------------------------
+
+@given(
+    capacity=st.integers(1, 1000),
+    operations=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(1, 400)), max_size=60
+    ),
+    policy=st.sampled_from(["lru", "lfu"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_cache_never_exceeds_capacity(capacity, operations, policy):
+    time = [0.0]
+    cache = DeviceCache(capacity, policy=policy, clock=lambda: time[0])
+    for key, nbytes in operations:
+        time[0] += 1.0
+        cache.admit("col{}".format(key), nbytes)
+        assert 0 <= cache.used <= cache.capacity
+        assert cache.used == sum(
+            cache.entry(k).nbytes for k in cache.keys
+        )
+
+
+@given(
+    operations=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(1, 100)), min_size=1,
+        max_size=40
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_pinned_entries_survive(operations):
+    time = [0.0]
+    cache = DeviceCache(300, policy="lru", clock=lambda: time[0])
+    assert cache.admit("pinned", 100, pinned=True)
+    for key, nbytes in operations:
+        time[0] += 1.0
+        cache.admit("col{}".format(key), nbytes)
+        assert "pinned" in cache
+
+
+# ---------------------------------------------------------------------------
+# DES kernel
+# ---------------------------------------------------------------------------
+
+@given(delays=st.lists(st.floats(0, 100, allow_nan=False), min_size=1,
+                       max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_des_time_is_monotonic_and_ends_at_max(delays):
+    env = Environment()
+    observed = []
+
+    def proc(delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for delay in delays:
+        env.process(proc(delay))
+    env.run()
+    assert observed == sorted(observed)
+    assert env.now == pytest.approx(max(delays))
+    assert len(observed) == len(delays)
+
+
+@given(works=st.lists(st.floats(0.001, 10, allow_nan=False), min_size=1,
+                      max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_processor_sharing_conserves_work(works):
+    """All jobs submitted at t=0 finish by exactly sum(works)."""
+    from repro.hardware.processor import Processor, ProcessorKind
+
+    env = Environment()
+    cpu = Processor(env, "cpu", ProcessorKind.CPU)
+    for work in works:
+        env.process(cpu.execute(work))
+    env.run()
+    assert env.now == pytest.approx(sum(works), rel=1e-6)
+    assert cpu.active_jobs == 0
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 (data placement)
+# ---------------------------------------------------------------------------
+
+@given(
+    counts=st.lists(st.integers(1, 100), min_size=1, max_size=12),
+    capacity_cols=st.floats(0, 14),
+)
+@settings(max_examples=60, deadline=None)
+def test_algorithm1_is_greedy_prefix(counts, capacity_cols):
+    from repro.core import DataPlacementManager
+
+    db = Database()
+    table = db.create_table("t", nominal_rows=100)
+    for i, count in enumerate(counts):
+        key = "c{}".format(i)
+        table.add_column(key, ColumnType.INT32,
+                         np.arange(10, dtype=np.int32))
+        for tick in range(count):
+            db.statistics.record_access("t.{}".format(key))
+    column_nbytes = db.column("t.c0").nominal_bytes
+    cache = DeviceCache(int(capacity_cols * column_nbytes))
+    manager = DataPlacementManager(db, cache, policy="lfu")
+    cached = set(manager.apply_placement())
+    ranked = db.statistics.by_frequency()
+    # equal-size columns: the cached set is exactly the longest ranked
+    # prefix that fits
+    expected = set(ranked[: int(capacity_cols)])
+    assert cached == {k for k in expected}
+    assert cache.used <= cache.capacity

@@ -1,0 +1,24 @@
+"""Tests for the live reproduction report."""
+
+from repro.cli import main
+from repro.harness.report import CLAIMS, generate_report
+
+
+def test_report_all_claims_hold():
+    report = generate_report(fast=True)
+    assert "NO" not in report
+    assert "{} of {} claims hold.".format(len(CLAIMS), len(CLAIMS)) in report
+
+
+def test_report_contains_every_claim_row():
+    report = generate_report(fast=True)
+    assert report.count("|") >= (len(CLAIMS) + 2) * 5
+    for needle in ("cache thrashing", "heap contention", "Q3.4"):
+        assert needle in report
+
+
+def test_report_cli(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "Reproduction report" in out
+    assert "claims hold" in out

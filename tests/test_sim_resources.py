@@ -1,0 +1,180 @@
+"""Unit tests for DES resources and stores."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    grants = []
+
+    def worker(name, hold):
+        req = res.request()
+        yield req
+        grants.append((name, env.now))
+        yield env.timeout(hold)
+        res.release(req)
+
+    env.process(worker("a", 5.0))
+    env.process(worker("b", 5.0))
+    env.process(worker("c", 5.0))
+    env.run()
+    # a and b start immediately, c waits for the first release.
+    assert grants == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(name):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    for name in "abcde":
+        env.process(worker(name))
+    env.run()
+    assert order == list("abcde")
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_in_use_and_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    observed = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(10.0)
+        res.release(req)
+
+    def waiter():
+        req = res.request()
+        yield req
+        res.release(req)
+
+    def observer():
+        yield env.timeout(1.0)
+        observed.append((res.in_use, res.queue_length))
+
+    env.process(holder())
+    env.process(waiter())
+    env.process(observer())
+    env.run()
+    assert observed == [(1, 1)]
+
+
+def test_cancel_ungranted_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    trace = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(5.0)
+        res.release(req)
+
+    def impatient():
+        req = res.request()
+        yield env.timeout(1.0)
+        # Give up before the grant.
+        res.release(req)
+        trace.append("cancelled")
+
+    def late():
+        yield env.timeout(2.0)
+        req = res.request()
+        yield req
+        trace.append(("late", env.now))
+        res.release(req)
+
+    env.process(holder())
+    env.process(impatient())
+    env.process(late())
+    env.run()
+    assert trace == ["cancelled", ("late", 5.0)]
+
+
+def test_release_unissued_request_is_error():
+    env = Environment()
+    res_a = Resource(env, capacity=1)
+    res_b = Resource(env, capacity=1)
+    req = res_a.request()  # granted on a
+    res_a.release(req)
+    req2 = res_b.request()
+    res_b.release(req2)
+    # Releasing an already-released, never-queued request fails loudly.
+    with pytest.raises(RuntimeError):
+        res_b.release(req2)
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    seen = []
+
+    def consumer():
+        item = yield store.get()
+        seen.append((env.now, item))
+
+    store.put("x")
+    env.process(consumer())
+    env.run()
+    assert seen == [(0.0, "x")]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    seen = []
+
+    def consumer():
+        item = yield store.get()
+        seen.append((env.now, item))
+
+    def producer():
+        yield env.timeout(7.0)
+        store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert seen == [(7.0, "late")]
+
+
+def test_store_fifo_items_and_consumers():
+    env = Environment()
+    store = Store(env)
+    seen = []
+
+    def consumer(name):
+        item = yield store.get()
+        seen.append((name, item))
+
+    env.process(consumer("c1"))
+    env.process(consumer("c2"))
+
+    def producer():
+        yield env.timeout(1.0)
+        store.put("first")
+        store.put("second")
+        store.put("third")
+
+    env.process(producer())
+    env.run()
+    assert seen == [("c1", "first"), ("c2", "second")]
+    assert store.items == ["third"]
+    assert len(store) == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import SqlSyntaxError, tokenize
+
+
+def kinds_and_values(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)]
+
+
+def test_basic_select():
+    tokens = kinds_and_values("select a from t")
+    assert tokens == [
+        ("keyword", "select"),
+        ("ident", "a"),
+        ("keyword", "from"),
+        ("ident", "t"),
+        ("end", ""),
+    ]
+
+
+def test_keywords_are_case_insensitive():
+    tokens = kinds_and_values("SELECT A FROM T WHERE A BETWEEN 1 AND 2")
+    assert tokens[0] == ("keyword", "select")
+    assert ("keyword", "between") in tokens
+    assert ("keyword", "and") in tokens
+
+
+def test_identifiers_lowercased():
+    tokens = kinds_and_values("select Lo_Revenue from LineOrder")
+    assert ("ident", "lo_revenue") in tokens
+    assert ("ident", "lineorder") in tokens
+
+
+def test_numbers_int_and_float():
+    tokens = kinds_and_values("select 42, 3.14 from t")
+    assert ("number", "42") in tokens
+    assert ("number", "3.14") in tokens
+
+
+def test_string_literal():
+    tokens = kinds_and_values("select * from t where c = 'MFGR#12'")
+    assert ("string", "MFGR#12") in tokens
+
+
+def test_string_literal_preserves_case():
+    tokens = kinds_and_values("select * from t where c = 'Dec1997'")
+    assert ("string", "Dec1997") in tokens
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("select 'oops from t")
+
+
+def test_comparison_symbols():
+    tokens = kinds_and_values("a <= b >= c <> d != e < f > g = h")
+    symbols = [v for k, v in tokens if k == "symbol"]
+    assert symbols == ["<=", ">=", "<>", "<>", "<", ">", "="]
+
+
+def test_arithmetic_and_punctuation():
+    tokens = kinds_and_values("(a + b) * c - d / e, f.g")
+    symbols = [v for k, v in tokens if k == "symbol"]
+    assert symbols == ["(", "+", ")", "*", "-", "/", ",", "."]
+
+
+def test_qualified_name_dot():
+    tokens = kinds_and_values("lineorder.lo_discount")
+    assert tokens == [
+        ("ident", "lineorder"),
+        ("symbol", "."),
+        ("ident", "lo_discount"),
+        ("end", ""),
+    ]
+
+
+def test_number_followed_by_dot_ident():
+    # "1." followed by non-digit must not swallow the dot.
+    tokens = kinds_and_values("select 1 from t where a = 1")
+    assert ("number", "1") in tokens
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("select @ from t")
+
+
+def test_whitespace_and_newlines():
+    tokens = kinds_and_values("select\n\t a \n from\tt")
+    assert [k for k, _ in tokens] == ["keyword", "ident", "keyword", "ident", "end"]

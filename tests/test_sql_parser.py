@@ -1,0 +1,239 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql.ast import (
+    ParsedAggregate,
+    ParsedAnd,
+    ParsedArith,
+    ParsedBetween,
+    ParsedColumn,
+    ParsedComparison,
+    ParsedIn,
+    ParsedNot,
+    ParsedOr,
+)
+from repro.sql.lexer import SqlSyntaxError
+from repro.sql.parser import parse
+
+
+def test_select_star():
+    statement = parse("select * from lineorder")
+    assert statement.items[0].is_star
+    assert statement.tables == ["lineorder"]
+    assert statement.where is None
+
+
+def test_multiple_tables():
+    statement = parse("select * from a, b, c")
+    assert statement.tables == ["a", "b", "c"]
+
+
+def test_simple_comparison():
+    statement = parse("select * from t where a < 25")
+    predicate = statement.where
+    assert isinstance(predicate, ParsedComparison)
+    assert predicate.op == "<"
+    assert isinstance(predicate.left, ParsedColumn)
+    assert predicate.left.name == "a"
+    assert predicate.right.value == 25
+
+
+def test_conjunction_flattening():
+    statement = parse("select * from t where a = 1 and b = 2 and c = 3")
+    assert isinstance(statement.where, ParsedAnd)
+    assert len(statement.where.children) == 3
+
+
+def test_or_precedence_lower_than_and():
+    statement = parse("select * from t where a = 1 and b = 2 or c = 3")
+    assert isinstance(statement.where, ParsedOr)
+    assert isinstance(statement.where.children[0], ParsedAnd)
+
+
+def test_parenthesised_predicate():
+    statement = parse("select * from t where (a = 1 or b = 2) and c = 3")
+    assert isinstance(statement.where, ParsedAnd)
+    assert isinstance(statement.where.children[0], ParsedOr)
+
+
+def test_between():
+    statement = parse("select * from t where a between 1 and 3")
+    predicate = statement.where
+    assert isinstance(predicate, ParsedBetween)
+    assert predicate.low.value == 1
+    assert predicate.high.value == 3
+
+
+def test_between_binds_inner_and():
+    statement = parse("select * from t where a between 1 and 3 and b = 2")
+    assert isinstance(statement.where, ParsedAnd)
+    assert isinstance(statement.where.children[0], ParsedBetween)
+    assert isinstance(statement.where.children[1], ParsedComparison)
+
+
+def test_in_list_of_strings():
+    statement = parse("select * from t where c in ('X1', 'X5')")
+    predicate = statement.where
+    assert isinstance(predicate, ParsedIn)
+    assert predicate.values == ["X1", "X5"]
+    assert not predicate.negated
+
+
+def test_not_in():
+    statement = parse("select * from t where c not in (1, 2)")
+    assert isinstance(statement.where, ParsedIn)
+    assert statement.where.negated
+
+
+def test_not_predicate():
+    statement = parse("select * from t where not a = 1")
+    assert isinstance(statement.where, ParsedNot)
+
+
+def test_aggregate_with_alias():
+    statement = parse("select sum(a * b) as total from t")
+    item = statement.items[0]
+    assert isinstance(item.expr, ParsedAggregate)
+    assert item.expr.func == "sum"
+    assert isinstance(item.expr.expr, ParsedArith)
+    assert item.alias == "total"
+
+
+def test_count_star():
+    statement = parse("select count(*) as n from t")
+    assert statement.items[0].expr.func == "count"
+    assert statement.items[0].expr.expr is None
+
+
+def test_bare_alias_without_as():
+    statement = parse("select sum(a) total from t")
+    assert statement.items[0].alias == "total"
+
+
+def test_arithmetic_precedence():
+    statement = parse("select a + b * c from t")
+    expr = statement.items[0].expr
+    assert isinstance(expr, ParsedArith)
+    assert expr.op == "+"
+    assert isinstance(expr.right, ParsedArith)
+    assert expr.right.op == "*"
+
+
+def test_parenthesised_arithmetic():
+    statement = parse("select (a + b) * c from t")
+    expr = statement.items[0].expr
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_group_by_and_order_by():
+    statement = parse(
+        "select d_year, sum(x) as s from t group by d_year "
+        "order by d_year asc, s desc"
+    )
+    assert [c.name for c in statement.group_by] == ["d_year"]
+    assert [(o.column.name, o.ascending) for o in statement.order_by] == [
+        ("d_year", True),
+        ("s", False),
+    ]
+
+
+def test_order_by_defaults_ascending():
+    statement = parse("select a from t order by a")
+    assert statement.order_by[0].ascending
+
+
+def test_limit():
+    statement = parse("select a from t limit 10")
+    assert statement.limit == 10
+
+
+def test_distinct_flag():
+    statement = parse("select distinct a from t")
+    assert statement.distinct
+
+
+def test_qualified_columns():
+    statement = parse("select t.a from t where t.a = 1")
+    assert statement.items[0].expr.table == "t"
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("select a from t garbage garbage")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("select a")
+
+
+def test_missing_predicate_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("select a from t where")
+
+
+def test_string_comparisons_against_column():
+    statement = parse("select * from t where c >= 'MFGR#2221'")
+    assert statement.where.op == ">="
+    assert statement.where.right.value == "MFGR#2221"
+
+
+def test_column_compared_to_column():
+    statement = parse("select * from t, u where t.a = u.b")
+    predicate = statement.where
+    assert isinstance(predicate.left, ParsedColumn)
+    assert isinstance(predicate.right, ParsedColumn)
+    assert predicate.left.table == "t"
+    assert predicate.right.table == "u"
+
+
+def test_negative_literal_in_comparison():
+    statement = parse("select * from t where a < -5")
+    assert statement.where.right.value == -5
+
+
+def test_negative_float_literal():
+    statement = parse("select * from t where a >= -2.5")
+    assert statement.where.right.value == -2.5
+
+
+def test_negative_literal_in_in_list():
+    statement = parse("select * from t where a in (-1, 2, -3)")
+    assert statement.where.values == [-1, 2, -3]
+
+
+def test_negative_literal_in_between():
+    statement = parse("select * from t where a between -10 and -1")
+    assert statement.where.low.value == -10
+    assert statement.where.high.value == -1
+
+
+def test_unary_minus_on_column():
+    statement = parse("select -a from t")
+    expr = statement.items[0].expr
+    assert isinstance(expr, ParsedArith)
+    assert expr.op == "-"
+    assert expr.left.value == 0
+    assert expr.right.name == "a"
+
+
+def test_unary_plus_is_ignored():
+    statement = parse("select * from t where a > +3")
+    assert statement.where.right.value == 3
+
+
+def test_double_negation():
+    statement = parse("select * from t where a = --4")
+    assert statement.where.right.value == 4
+
+
+def test_having_clause_parses():
+    statement = parse(
+        "select a, sum(b) as s from t group by a having s > 10 "
+        "order by s desc"
+    )
+    assert statement.having is not None
+    assert isinstance(statement.having, ParsedComparison)
+    assert statement.having.left.name == "s"

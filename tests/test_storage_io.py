@@ -1,0 +1,98 @@
+"""Tests for database persistence."""
+
+import numpy as np
+import pytest
+
+from repro.storage import ColumnType, Database
+from repro.storage.compression import compress_database
+from repro.storage.io import load_database, save_database
+
+
+def test_round_trip_small_database(tmp_path, toy_db):
+    path = str(tmp_path / "toy.npz")
+    save_database(toy_db, path)
+    loaded = load_database(path)
+    assert loaded.name == toy_db.name
+    assert [t.name for t in loaded.tables] == [t.name for t in toy_db.tables]
+    for table in toy_db.tables:
+        twin = loaded.table(table.name)
+        assert twin.nominal_rows == table.nominal_rows
+        for column in table.columns:
+            loaded_column = twin.column(column.name)
+            assert loaded_column.ctype is column.ctype
+            assert loaded_column.nominal_rows == column.nominal_rows
+            assert np.array_equal(loaded_column.values, column.values)
+            assert loaded_column.dictionary == column.dictionary
+
+
+def test_round_trip_preserves_query_results(tmp_path, ssb_db):
+    from repro.engine import Planner, execute_reference
+    from repro.engine.execution import execute_functional
+    from repro.sql import bind
+    from repro.workloads import ssb
+
+    path = str(tmp_path / "ssb.npz")
+    save_database(ssb_db, path)
+    loaded = load_database(path)
+    for name in ("Q1.1", "Q3.3"):
+        spec = bind(ssb.QUERIES[name], loaded, name=name)
+        plan = Planner(loaded).plan(spec)
+        engine_rows = execute_functional(plan, loaded).payload.row_tuples()
+        reference_rows = execute_reference(spec, loaded)
+
+        def canonical(rows):
+            return sorted(
+                tuple(v if isinstance(v, str) else int(v) for v in row)
+                for row in rows
+            )
+
+        assert canonical(engine_rows) == canonical(reference_rows)
+
+
+def test_round_trip_preserves_compression(tmp_path, toy_db):
+    import copy
+
+    db = copy.deepcopy(toy_db)
+    compress_database(db)
+    path = str(tmp_path / "compressed.npz")
+    save_database(db, path)
+    loaded = load_database(path)
+    for column in db.columns():
+        twin = loaded.column(column.key)
+        assert twin.compression == column.compression
+        assert twin.nominal_bytes == column.nominal_bytes
+
+
+def test_missing_file_raises():
+    with pytest.raises(FileNotFoundError):
+        load_database("/nonexistent/nope.npz")
+
+
+def test_bad_format_version_rejected(tmp_path, toy_db):
+    import json
+
+    import numpy as np
+
+    path = str(tmp_path / "bad.npz")
+    manifest = {"format": 999, "name": "x", "tables": []}
+    with open(path, "wb") as handle:
+        np.savez(handle, __manifest__=np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        load_database(path)
+
+
+def test_loaded_database_runs_simulated_workloads(tmp_path, toy_db):
+    from repro.harness import run_workload
+    from repro.workloads import sql_workload
+
+    path = str(tmp_path / "db.npz")
+    save_database(toy_db, path)
+    loaded = load_database(path)
+    queries = sql_workload(loaded, {
+        "q": "select sum(amount) as s from sales where price < 25"
+    })
+    run = run_workload(loaded, queries, "data_driven_chopping",
+                       collect_results=True)
+    assert run.seconds > 0
+    assert len(run.results["q"]) == 1

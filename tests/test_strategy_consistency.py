@@ -1,0 +1,85 @@
+"""Integration: every placement strategy must produce the same query
+results as plain functional execution on the real benchmark workloads —
+placement, caching, aborts, and fallbacks may change the timing, never
+the answer."""
+
+import pytest
+
+from repro.core import STRATEGY_NAMES
+from repro.engine.execution import execute_functional
+from repro.harness import run_workload
+from repro.hardware import SystemConfig
+from repro.hardware.calibration import MIB
+from repro.workloads import micro, ssb, tpch
+
+
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+def test_ssb_results_identical_across_strategies(ssb_db, strategy):
+    queries = ssb.workload(ssb_db, ["Q1.1", "Q2.1", "Q3.3", "Q4.1"])
+    expected = {
+        q.name: execute_functional(
+            q.template_plan(), ssb_db
+        ).payload.row_tuples()
+        for q in queries
+    }
+    run = run_workload(ssb_db, queries, strategy, users=2,
+                       collect_results=True)
+    for name, rows in expected.items():
+        assert run.results[name].row_tuples() == rows, (strategy, name)
+
+
+@pytest.mark.parametrize("strategy",
+                         ("gpu_only", "chopping", "data_driven_chopping"))
+def test_tpch_results_identical_across_strategies(tpch_db, strategy):
+    queries = tpch.workload(tpch_db)
+    expected = {
+        q.name: execute_functional(
+            q.template_plan(), tpch_db
+        ).payload.row_tuples()
+        for q in queries
+    }
+    run = run_workload(tpch_db, queries, strategy, users=3,
+                       collect_results=True)
+    for name, rows in expected.items():
+        assert run.results[name].row_tuples() == rows, (strategy, name)
+
+
+@pytest.mark.parametrize("strategy", ("gpu_only", "runtime", "chopping"))
+def test_results_correct_even_under_constant_aborts(ssb_db, strategy):
+    """A starved device forces the fault-tolerance path on nearly every
+    operator; results must still be exact."""
+    config = SystemConfig(gpu_memory_bytes=8 * MIB, gpu_cache_bytes=2 * MIB)
+    queries = ssb.workload(ssb_db, ["Q2.1", "Q3.1"])
+    expected = {
+        q.name: execute_functional(
+            q.template_plan(), ssb_db
+        ).payload.row_tuples()
+        for q in queries
+    }
+    run = run_workload(ssb_db, queries, strategy, config=config,
+                       users=4, repetitions=3, collect_results=True)
+    for name, rows in expected.items():
+        assert run.results[name].row_tuples() == rows, (strategy, name)
+
+
+def test_micro_parallel_chain_under_all_executors(ssb_db):
+    queries = micro.parallel_selection_workload(ssb_db)
+    expected = execute_functional(
+        queries[0].template_plan(), ssb_db
+    ).payload.row_tuples()
+    for strategy in ("cpu_only", "gpu_only", "chopping",
+                     "data_driven_chopping"):
+        run = run_workload(ssb_db, queries, strategy, users=3,
+                           repetitions=6, collect_results=True)
+        assert run.results["P1"].row_tuples() == expected, strategy
+
+
+def test_device_state_clean_after_each_strategy(ssb_db):
+    """No leaked device heap after any workload run."""
+    queries = ssb.workload(ssb_db, ["Q1.1", "Q3.3"])
+    for strategy in STRATEGY_NAMES:
+        run = run_workload(ssb_db, queries, strategy, users=2, repetitions=2)
+        assert run.metrics.peak_heap_bytes >= 0
+        # makespan covers every recorded query interval
+        for record in run.metrics.queries:
+            assert record.end <= run.seconds + 1e-9

@@ -1,0 +1,70 @@
+"""Tests for the built-in result validation of the runner."""
+
+import numpy as np
+import pytest
+
+from repro.harness import ValidationError, run_workload
+from repro.workloads import micro, sql_workload
+
+
+QUERIES = {
+    "agg": (
+        "select region, sum(amount) as s, avg(price) as p "
+        "from sales, store where skey = id group by region"
+    ),
+    "rows": "select amount, price from sales where amount < 12",
+}
+
+
+def test_validate_passes_on_correct_execution(toy_db):
+    queries = sql_workload(toy_db, QUERIES)
+    run = run_workload(toy_db, queries, "data_driven_chopping",
+                       users=2, validate=True)
+    assert run.seconds > 0
+    # validate implies collection
+    assert set(run.results) == set(QUERIES)
+
+
+@pytest.mark.parametrize("strategy", ("gpu_only", "chopping"))
+def test_validate_under_aborting_device(toy_db, strategy):
+    from repro.hardware import SystemConfig
+    from repro.hardware.calibration import MIB
+
+    config = SystemConfig(gpu_memory_bytes=6 * MIB, gpu_cache_bytes=4 * MIB)
+    queries = sql_workload(toy_db, QUERIES)
+    run = run_workload(toy_db, queries, strategy, config=config,
+                       users=3, repetitions=2, validate=True)
+    assert run.seconds > 0
+
+
+def test_validate_vectorized_model(toy_db):
+    queries = sql_workload(toy_db, QUERIES)
+    run_workload(toy_db, queries, "runtime",
+                 processing_model="vectorized", validate=True)
+
+
+def test_validate_detects_corruption(toy_db):
+    """Corrupting a memoised payload must be caught."""
+    queries = sql_workload(toy_db, {"agg": QUERIES["agg"]})
+    # poison the template's memoised root result
+    template = queries[0].template_plan()
+    from repro.engine.execution import execute_functional
+
+    execute_functional(template, toy_db)
+    payload, actual, nominal, width = template.root._cached_result
+    corrupted_columns = dict(payload.columns)
+    corrupted_columns["s"] = payload.columns["s"] + 1
+    from repro.engine.intermediates import ResultFrame
+
+    template.root._cached_result = (
+        ResultFrame(corrupted_columns, payload.dictionaries),
+        actual, nominal, width,
+    )
+    with pytest.raises(ValidationError):
+        run_workload(toy_db, queries, "cpu_only", validate=True)
+
+
+def test_validate_skips_hand_built_plans(ssb_db):
+    queries = micro.parallel_selection_workload(ssb_db)
+    run = run_workload(ssb_db, queries, "cpu_only", validate=True)
+    assert run.seconds > 0  # no spec: skipped, no error

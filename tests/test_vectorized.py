@@ -1,0 +1,181 @@
+"""Tests for the vector-at-a-time processing model (Sec. 5.5)."""
+
+import pytest
+
+from tests.conftest import make_context
+from repro.core import STRATEGY_NAMES
+from repro.core.placement import DataDrivenRuntime, RuntimeHype
+from repro.engine import Planner
+from repro.engine.execution import VectorizedExecutor, execute_functional
+from repro.engine.execution.vectorized import Pipeline, build_pipelines
+from repro.engine.operators import GroupByAggregate, HashJoin, ScanSelect
+from repro.harness import run_workload
+from repro.hardware import SystemConfig
+from repro.hardware.calibration import GIB, MIB
+from repro.sql import bind
+from repro.workloads import micro, sql_workload, ssb
+
+
+JOIN_SQL = (
+    "select region, sum(amount) as s from sales, store "
+    "where skey = id and amount < 40 group by region order by s desc"
+)
+
+
+def make_plan(db, sql=JOIN_SQL, name="q"):
+    return Planner(db).plan(bind(sql, db, name=name))
+
+
+class TestPipelineConstruction:
+    def test_join_plan_pipelines(self, toy_db):
+        plan = make_plan(toy_db)
+        chains = build_pipelines(plan)
+        # dim-scan build chain, fact-scan+join driver chain, then the
+        # breakers (groupby, sort) as their own chains
+        assert len(chains) == 4
+        driver = chains[1]
+        assert isinstance(driver[0], ScanSelect)
+        assert isinstance(driver[-1], HashJoin)
+        assert isinstance(chains[2][0], GroupByAggregate)
+
+    def test_selection_chain_is_one_pipeline(self, ssb_db):
+        plan = micro.build_parallel_selection_plan(ssb_db)
+        chains = build_pipelines(plan)
+        # scan + 3 refines pipeline, then the (host) materialisation
+        assert len(chains) == 2
+        assert len(chains[0]) == 4
+
+    def test_chain_order_respects_dependencies(self, tpch_db):
+        from repro.workloads import tpch
+
+        plan = Planner(tpch_db).plan(
+            bind(tpch.QUERIES["Q5"], tpch_db, name="Q5")
+        )
+        chains = build_pipelines(plan)
+        seen = set()
+        for chain in chains:
+            for op in chain:
+                for child in op.children:
+                    assert child.op_id in seen or child in chain
+                seen.add(op.op_id)
+
+    def test_pipeline_required_columns_union(self, toy_db):
+        plan = make_plan(toy_db)
+        driver = Pipeline(build_pipelines(plan)[1])
+        assert "sales.amount" in driver.required_columns()
+        assert "sales.skey" in driver.required_columns()
+
+
+class TestVectorizedExecution:
+    def run_vectorized(self, db, plan, strategy, config=None):
+        env, hw, ctx = make_context(db, config)
+        if strategy.uses_data_placement:
+            for device in hw.gpus:
+                for column in db.columns():
+                    device.cache.admit(column.key, column.nominal_bytes,
+                                       pinned=True)
+        executor = VectorizedExecutor(ctx, strategy)
+        process = executor.submit(plan)
+        env.run()
+        return process.value, hw, env
+
+    def test_results_identical_to_operator_at_a_time(self, toy_db):
+        expected = execute_functional(make_plan(toy_db), toy_db)
+        for strategy in (RuntimeHype(), DataDrivenRuntime()):
+            result, hw, env = self.run_vectorized(
+                toy_db, make_plan(toy_db), strategy
+            )
+            assert (result.payload.row_tuples()
+                    == expected.payload.row_tuples()), strategy.name
+
+    def test_root_result_lands_on_host_and_heap_is_clean(self, toy_db):
+        result, hw, env = self.run_vectorized(
+            toy_db, make_plan(toy_db), DataDrivenRuntime()
+        )
+        assert result.location == "cpu"
+        assert hw.gpu_heap.used == 0
+
+    def test_streaming_avoids_column_staging(self, toy_db):
+        """Vectors stream: uncached inputs never occupy the heap."""
+        env, hw, ctx = make_context(toy_db)  # cold cache
+        executor = VectorizedExecutor(ctx, RuntimeHype(), allow_split=False)
+        peaks = []
+        original = hw.gpu_heap.allocate
+
+        def tracking(nbytes, owner="?"):
+            allocation = original(nbytes, owner)
+            peaks.append(hw.gpu_heap.used)
+            return allocation
+
+        hw.gpu_heap.allocate = tracking
+        process = executor.submit(make_plan(toy_db))
+        env.run()
+        column_bytes = toy_db.column("sales.amount").nominal_bytes
+        # heap peaks stay far below a staged column (only breaker
+        # outputs are materialised)
+        assert all(peak < column_bytes for peak in peaks)
+
+    def test_vectorized_never_slower_than_either_pure_backend(self, toy_db):
+        """Cost-based pipeline placement with vector splitting picks
+        the better side of each pipeline and overlaps transfers, so it
+        beats (or matches) both pure operator-model backends."""
+        # one repetition: the operator model must not benefit from
+        # warming the cache across repetitions (streaming never caches)
+        queries = sql_workload(toy_db, {"q": JOIN_SQL})
+        pure_cpu = run_workload(toy_db, queries, "cpu_only",
+                                warm_cache=False, repetitions=1)
+        pure_gpu = run_workload(toy_db, queries, "gpu_only",
+                                warm_cache=False, repetitions=1)
+        vectorized = run_workload(toy_db, queries, "runtime",
+                                  warm_cache=False, repetitions=1,
+                                  processing_model="vectorized")
+        assert vectorized.seconds <= min(
+            pure_cpu.seconds, pure_gpu.seconds
+        ) * 1.1
+
+    def test_breaker_heap_contention_persists(self):
+        """Sec. 5.5: heap contention is reduced to pipeline breakers,
+        but a device whose heap cannot hold the breaker outputs still
+        aborts under concurrency."""
+        from repro.harness import experiments as E
+
+        database = E.ssb_database(10)
+        # a cache that holds the hot set next to an (artificially)
+        # tiny operator heap
+        config = SystemConfig(
+            gpu_memory_bytes=int(1.55 * GIB),
+            gpu_cache_bytes=int(1.5 * GIB),
+        )
+        queries = ssb.workload(database, ["Q3.1"])
+        run = run_workload(database, queries, "data_driven_chopping",
+                           config=config, users=4, repetitions=4,
+                           processing_model="vectorized")
+        assert run.metrics.aborts > 0  # the breakers still contend
+
+    @pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+    def test_all_strategies_supported(self, toy_db, strategy):
+        queries = sql_workload(toy_db, {"q": JOIN_SQL})
+        expected = execute_functional(
+            queries[0].template_plan(), toy_db
+        ).payload.row_tuples()
+        run = run_workload(toy_db, queries, strategy, users=2,
+                           repetitions=2, processing_model="vectorized",
+                           collect_results=True)
+        assert run.results["q"].row_tuples() == expected, strategy
+
+    def test_invalid_processing_model_rejected(self, toy_db):
+        queries = sql_workload(toy_db, {"q": JOIN_SQL})
+        with pytest.raises(ValueError):
+            run_workload(toy_db, queries, "cpu_only",
+                         processing_model="quantum")
+
+    def test_split_uses_both_processors(self, toy_db):
+        env, hw, ctx = make_context(toy_db)
+        for column in toy_db.columns():
+            hw.gpu_cache.admit(column.key, column.nominal_bytes, pinned=True)
+        executor = VectorizedExecutor(ctx, RuntimeHype(), allow_split=True)
+        process = executor.submit(make_plan(toy_db))
+        env.run()
+        busy = hw.metrics.busy_seconds
+        assert busy.get("gpu", 0) > 0
+        assert busy.get("cpu", 0) > 0  # the host took a vector share
