@@ -5,7 +5,7 @@ parallel — their accumulated 3.25x-input footprints exceed the ~5 GB
 device heap.
 """
 
-from benchmarks.common import regenerate
+from benchmarks.common import regenerate, shape_checks
 from repro.harness import experiments as E
 
 
@@ -15,4 +15,5 @@ def test_fig03_heap_contention(benchmark):
         users=(1, 2, 4, 6, 7, 8, 10, 14, 20), total_queries=100,
     )
     gpu = dict(result.series("users", "seconds", "strategy")["gpu_only"])
-    assert gpu[20] > gpu[4] * 1.5
+    if shape_checks():
+        assert gpu[20] > gpu[4] * 1.5

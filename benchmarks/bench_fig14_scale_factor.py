@@ -5,7 +5,7 @@ improves performance even when resources become scarce and is never
 slower than CPU-only.
 """
 
-from benchmarks.common import regenerate
+from benchmarks.common import regenerate, shape_checks
 from repro.harness import experiments as E
 
 
@@ -18,8 +18,9 @@ def test_fig14a_ssb_scale_factor(benchmark):
     cpu = dict(series["cpu_only"])
     gpu = dict(series["gpu_only"])
     ddc = dict(series["data_driven_chopping"])
-    assert gpu[15] > cpu[15]
-    assert all(ddc[sf] <= cpu[sf] * 1.1 for sf in (5, 10, 15, 20, 30))
+    if shape_checks():
+        assert gpu[15] > cpu[15]
+    assert all(ddc[sf] <= cpu[sf] * 1.1 for sf in cpu)
 
 
 def test_fig14b_tpch_scale_factor(benchmark):
@@ -30,4 +31,4 @@ def test_fig14b_tpch_scale_factor(benchmark):
     series = result.series("scale_factor", "seconds", "strategy")
     cpu = dict(series["cpu_only"])
     ddc = dict(series["data_driven_chopping"])
-    assert all(ddc[sf] <= cpu[sf] * 1.15 for sf in (5, 10, 15, 20, 30))
+    assert all(ddc[sf] <= cpu[sf] * 1.15 for sf in cpu)

@@ -5,7 +5,7 @@ policy itself has only minor impact (LFU slightly better in corner
 cases).
 """
 
-from benchmarks.common import regenerate
+from benchmarks.common import regenerate, shape_checks
 from repro.harness import experiments as E
 
 
@@ -17,5 +17,6 @@ def test_fig24_lfu_lru(benchmark):
     series = result.series("cache_fraction", "seconds", "policy")
     lru = dict(series["lru"])
     lfu = dict(series["lfu"])
-    assert lru[0.8] < lru[0.0]
-    assert lfu[0.8] < lfu[0.0]
+    if shape_checks():
+        assert lru[0.8] < lru[0.0]
+        assert lfu[0.8] < lfu[0.0]

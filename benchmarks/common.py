@@ -4,9 +4,43 @@ Every benchmark regenerates one table/figure of the paper: it runs the
 corresponding harness driver once under pytest-benchmark (measuring the
 harness wall time) and prints the resulting series — the rows a plot of
 the figure would be drawn from.
+
+Setting ``REPRO_FAST=1`` shrinks the work twice over: the drivers clip
+their own sweep grids (see :mod:`repro.harness.experiments`), and
+:func:`regenerate` caps the repetition-style kwargs benchmarks pass in.
 """
 
 from __future__ import annotations
+
+#: kwarg -> cap applied under REPRO_FAST (repetition-style knobs only;
+#: sweep axes are clipped by the drivers themselves).
+_FAST_CAPS = {
+    "repetitions": 1,
+    "total_queries": 30,
+    "users": 4,
+}
+
+
+def _shrink_kwargs(kwargs):
+    from repro.harness.experiments import fast_mode
+
+    if not fast_mode():
+        return kwargs
+    shrunk = dict(kwargs)
+    for name, cap in _FAST_CAPS.items():
+        value = shrunk.get(name)
+        if isinstance(value, (int, float)) and value > cap:
+            shrunk[name] = cap
+    return shrunk
+
+
+def shape_checks() -> bool:
+    """Whether paper-shape assertions apply: they are claims about the
+    full measurement grids, so ``REPRO_FAST`` smoke runs (clipped
+    grids, single repetition) skip them."""
+    from repro.harness.experiments import fast_mode
+
+    return not fast_mode()
 
 
 def regenerate(bench_fixture, driver, **kwargs):
@@ -17,6 +51,7 @@ def regenerate(bench_fixture, driver, **kwargs):
     contain a ``benchmark=`` workload-name argument, hence the fixture
     comes first under a different name).
     """
+    kwargs = _shrink_kwargs(kwargs)
     result = bench_fixture.pedantic(
         lambda: driver(**kwargs), rounds=1, iterations=1, warmup_rounds=0
     )

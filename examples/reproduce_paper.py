@@ -2,15 +2,18 @@
 
 Runs each harness driver with moderate parameters (minutes, not hours)
 and prints the rows each figure of the paper plots.  Pass ``--fast``
-for a quick smoke pass or a figure selector like ``fig14``.
+for a quick smoke pass, ``--jobs N`` to fan each figure's grid over N
+worker processes (output is identical to sequential), or a figure
+selector like ``fig14``.
 
-Run with:  python examples/reproduce_paper.py [--fast] [figNN ...]
+Run with:  python examples/reproduce_paper.py [--fast] [--jobs N] [figNN ...]
 """
 
 import sys
 import time
 
 from repro.harness import experiments as E
+from repro.harness.parallel import set_default_jobs
 
 #: figure id -> (driver, default kwargs, fast kwargs)
 FIGURES = {
@@ -64,7 +67,25 @@ FIGURES = {
 def main():
     arguments = sys.argv[1:]
     fast = "--fast" in arguments
-    selected = [a for a in arguments if not a.startswith("--")]
+    selected = []
+    skip_next = False
+    for index, argument in enumerate(arguments):
+        if skip_next:
+            skip_next = False
+            continue
+        if argument == "--jobs" or argument.startswith("--jobs="):
+            if "=" in argument:
+                raw = argument.split("=", 1)[1]
+            else:
+                raw = arguments[index + 1] if index + 1 < len(arguments) else ""
+                skip_next = True
+            try:
+                set_default_jobs(int(raw))
+            except ValueError as error:
+                print("--jobs: {}".format(error))
+                return 2
+        elif not argument.startswith("--"):
+            selected.append(argument)
     figures = selected or list(FIGURES)
 
     total_start = time.time()

@@ -3,9 +3,10 @@
 Commands
 --------
 
-``figures [figNN ...] [--fast]``
+``figures [figNN ...] [--fast] [--jobs N]``
     Regenerate (all or selected) figures of the paper and print the
-    series each one plots.
+    series each one plots; ``--jobs N`` fans each figure's grid over N
+    worker processes (tables are identical for any N).
 ``run --benchmark ssb --strategy data_driven_chopping ...``
     Run a full benchmark workload under one placement strategy and
     print the measurement summary.
@@ -26,6 +27,7 @@ from typing import List, Optional
 
 from repro.core import STRATEGY_NAMES
 from repro.harness import experiments as E
+from repro.harness.parallel import set_default_jobs
 from repro.harness.runner import run_workload
 from repro.hardware import SystemConfig
 from repro.hardware.calibration import GIB
@@ -93,6 +95,12 @@ def cmd_figures(args) -> int:
         if figure_id not in FIGURE_DRIVERS:
             print("unknown figure {!r}; choose from: {}".format(
                 figure_id, ", ".join(FIGURE_DRIVERS)))
+            return 1
+    if args.jobs is not None:
+        try:
+            set_default_jobs(args.jobs)
+        except ValueError as error:
+            print("--jobs: {}".format(error))
             return 1
     start = time.time()
     for figure_id in figures:
@@ -189,6 +197,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="figure ids (default: all)")
     figures.add_argument("--fast", action="store_true",
                          help="reduced sweep sizes")
+    figures.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes per figure grid "
+                              "(default: $REPRO_JOBS or sequential)")
     figures.set_defaults(func=cmd_figures)
 
     def add_common(p):

@@ -37,6 +37,12 @@ class GroupByAggregate(PhysicalOperator):
         self.group_refs = list(group_refs)
         self.aggregates = list(aggregates)
 
+    def state_key(self):
+        return (
+            tuple(ref.key for ref in self.group_refs),
+            tuple(agg.to_sql() for agg in self.aggregates),
+        )
+
     def required_columns(self) -> Set[str]:
         keys: Set[str] = set()
         for ref in self.group_refs:

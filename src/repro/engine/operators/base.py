@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Tuple
 
+from repro.engine import plan_cache
 from repro.engine.intermediates import OperatorResult
 from repro.storage import Database
 
@@ -39,6 +40,9 @@ class PhysicalOperator:
         #: repeated workload executions reuse the numpy work while the
         #: simulation still models every timing aspect independently
         self._cached_result = None
+        #: lazily computed structural fingerprint (see :meth:`fingerprint`);
+        #: ``False`` marks an operator the cross-plan cache cannot key
+        self._fingerprint = None
         #: set when the operator joins a PhysicalPlan (used by tracing)
         self.plan_name = "query"
 
@@ -85,19 +89,68 @@ class PhysicalOperator:
             self.kind, self.input_nominal_bytes(database, child_results)
         )
 
+    def state_key(self) -> Optional[Tuple]:
+        """Stable tuple of every parameter that shapes :meth:`run`'s output.
+
+        Subclasses whose functional result is fully determined by the
+        database, their children, and these parameters override this;
+        returning ``None`` (the default) opts the operator out of the
+        cross-plan result cache — only the per-template memoisation via
+        ``_cached_result`` applies then.
+        """
+        return None
+
+    def fingerprint(self) -> Optional[Tuple]:
+        """Structural identity of this subplan (or None).
+
+        Two operators with equal fingerprints over the same database
+        produce identical functional results, no matter which query —
+        or which run — they belong to.  Cached on the instance; clones
+        share it (``copy.copy`` carries the attribute over).
+        """
+        cached = self._fingerprint
+        if cached is not None:
+            return cached if cached is not False else None
+        key = self.state_key()
+        if key is None:
+            self._fingerprint = False
+            return None
+        child_prints = []
+        for child in self.children:
+            child_print = child.fingerprint()
+            if child_print is None:
+                self._fingerprint = False
+                return None
+            child_prints.append(child_print)
+        fp = (type(self).__name__, key, tuple(child_prints))
+        self._fingerprint = fp
+        return fp
+
     def produce(self, database: Database,
                 child_results: List[OperatorResult]) -> OperatorResult:
-        """Run, or rebuild a fresh result from the memoised payload."""
-        if self._cached_result is not None:
-            payload, actual_rows, nominal_rows, width = self._cached_result
+        """Run, or rebuild a fresh result from a memoised payload.
+
+        Lookup order: the per-template memo (shared between a template
+        plan and its clones), then the cross-plan fingerprint cache
+        (shared between queries and runs on the same database).
+        """
+        cached = self._cached_result
+        if cached is None:
+            cached = plan_cache.lookup(database, self.fingerprint())
+            if cached is not None:
+                self._cached_result = cached
+        if cached is not None:
+            payload, actual_rows, nominal_rows, width = cached
             return OperatorResult(payload, actual_rows, nominal_rows, width)
         result = self.run(database, child_results)
-        self._cached_result = (
+        cached = (
             result.payload,
             result.actual_rows,
             result.nominal_rows,
             result.row_width_bytes,
         )
+        self._cached_result = cached
+        plan_cache.store(database, self.fingerprint(), cached)
         return result
 
     # -- traversal --------------------------------------------------------

@@ -34,6 +34,9 @@ class Distinct(PhysicalOperator):
     def __init__(self, child: PhysicalOperator, label: str = ""):
         super().__init__(children=[child], label=label or "Distinct")
 
+    def state_key(self):
+        return ()
+
     def input_nominal_bytes(self, database: Database,
                             child_results: List[OperatorResult]) -> int:
         (child,) = child_results
@@ -91,6 +94,9 @@ class FrameFilter(PhysicalOperator):
                  label: str = ""):
         super().__init__(children=[child], label=label or "Having")
         self.predicate = predicate
+
+    def state_key(self):
+        return (self.predicate.to_sql(),)
 
     def input_nominal_bytes(self, database: Database,
                             child_results: List[OperatorResult]) -> int:

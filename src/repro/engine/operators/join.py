@@ -66,6 +66,9 @@ class HashJoin(PhysicalOperator):
         self.probe_key = probe_key
         self.build_key = build_key
 
+    def state_key(self):
+        return (self.probe_key.key, self.build_key.key)
+
     def required_columns(self) -> Set[str]:
         return {self.probe_key.key, self.build_key.key}
 

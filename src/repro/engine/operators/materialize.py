@@ -32,6 +32,9 @@ class Materialize(PhysicalOperator):
         super().__init__(children=[child], label=label or "Materialize")
         self.items = list(items)
 
+    def state_key(self):
+        return (tuple((alias, expr.to_sql()) for alias, expr in self.items),)
+
     def required_columns(self) -> Set[str]:
         keys: Set[str] = set()
         for _, expr in self.items:

@@ -34,6 +34,10 @@ class ScanSelect(PhysicalOperator):
         self.table = table
         self.predicate = predicate
 
+    def state_key(self):
+        return (self.table,
+                self.predicate.to_sql() if self.predicate else None)
+
     def required_columns(self) -> Set[str]:
         if self.predicate is None:
             return set()
@@ -99,6 +103,9 @@ class RefineSelect(PhysicalOperator):
         self.table = table
         self.predicate = predicate
 
+    def state_key(self):
+        return (self.table, self.predicate.to_sql())
+
     def required_columns(self) -> Set[str]:
         return self.predicate.columns()
 
@@ -150,6 +157,9 @@ class TidIntersect(PhysicalOperator):
         super().__init__(children=[left, right],
                          label=label or "TidAnd({})".format(table))
         self.table = table
+
+    def state_key(self):
+        return (self.table,)
 
     def input_nominal_bytes(self, database: Database,
                             child_results: List[OperatorResult]) -> int:

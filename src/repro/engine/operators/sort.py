@@ -28,6 +28,9 @@ class Sort(PhysicalOperator):
         super().__init__(children=[child], label=label or "Sort")
         self.keys = list(keys)
 
+    def state_key(self):
+        return (tuple((name, bool(asc)) for name, asc in self.keys),)
+
     def input_nominal_bytes(self, database: Database,
                             child_results: List[OperatorResult]) -> int:
         (child,) = child_results
@@ -65,6 +68,9 @@ class Limit(PhysicalOperator):
             raise ValueError("limit must be >= 0")
         super().__init__(children=[child], label=label or "Limit({})".format(n))
         self.n = n
+
+    def state_key(self):
+        return (self.n,)
 
     def input_nominal_bytes(self, database: Database,
                             child_results: List[OperatorResult]) -> int:

@@ -1,5 +1,13 @@
 """Experiment harness: workload runner and per-figure drivers."""
 
+from repro.harness.parallel import (
+    Cell,
+    CellOutcome,
+    execute_cell,
+    resolve_jobs,
+    run_cells,
+    set_default_jobs,
+)
 from repro.harness.runner import (
     ValidationError,
     WorkloadResult,
@@ -9,9 +17,15 @@ from repro.harness.runner import (
 from repro.harness.tables import ExperimentResult
 
 __all__ = [
+    "Cell",
+    "CellOutcome",
     "ExperimentResult",
     "ValidationError",
     "WorkloadResult",
+    "execute_cell",
+    "resolve_jobs",
+    "run_cells",
     "run_workload",
+    "set_default_jobs",
     "validate_results",
 ]

@@ -7,6 +7,17 @@ points) so the benchmark suite can trade fidelity for wall time; the
 defaults are sized to finish in seconds while preserving the paper's
 shapes.
 
+Each driver describes its measurement grid as a list of declarative
+:class:`~repro.harness.parallel.Cell` specs and executes them through
+:func:`~repro.harness.parallel.run_cells` — sequentially by default, or
+fanned out over worker processes with ``jobs=N`` (also settable
+globally via ``--jobs`` on the CLI / ``REPRO_JOBS`` in the
+environment).  Cell order fixes row order, so the printed tables are
+identical for any worker count.
+
+Setting ``REPRO_FAST=1`` shrinks every sweep grid (endpoints only,
+single repetition) for CI smoke runs.
+
 The micro-benchmark platform follows Sec. 2.3/3.4: a device where
 roughly 5 GiB of heap are available, so that with the 3.25x selection
 footprint about seven parallel queries fit.  The full-workload
@@ -16,22 +27,22 @@ platform is the paper's GTX 770 (4 GiB device memory).
 from __future__ import annotations
 
 import functools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import os
+from typing import Optional, Sequence, Tuple
 
+from repro.engine import plan_cache
 from repro.hardware import SystemConfig
-from repro.hardware.calibration import (
-    COGADB_PROFILE,
-    GIB,
-    MIB,
-    OCELOT_PROFILE,
-)
-from repro.harness.runner import run_workload, workload_footprint_bytes
+from repro.hardware.calibration import COGADB_PROFILE, GIB, OCELOT_PROFILE
+from repro.harness.parallel import Cell, clear_workload_cache, run_cells
 from repro.harness.tables import ExperimentResult
 from repro.storage import Database
-from repro.workloads import micro, ssb, tpch
+from repro.workloads import ssb, tpch
 
 #: Default reduction of actual vs. nominal data (see DESIGN.md §2).
 DATA_SCALE = 1e-4
+
+#: Environment knob: shrink every grid for CI smoke runs.
+FAST_ENV = "REPRO_FAST"
 
 #: Full-workload platform: the paper's GTX 770 (4 GiB device memory),
 #: 1.5 GiB of it used as column cache, the rest as operator heap.
@@ -43,6 +54,24 @@ FULL_CONFIG = SystemConfig(
 MICRO_CONFIG = SystemConfig(
     gpu_memory_bytes=int(5.75 * GIB), gpu_cache_bytes=int(0.5 * GIB)
 )
+
+
+def fast_mode() -> bool:
+    """True when ``REPRO_FAST`` asks for shrunken smoke-test grids."""
+    return os.environ.get(FAST_ENV, "") not in ("", "0")
+
+
+def _grid(values: Sequence) -> Tuple:
+    """A sweep axis, reduced to its endpoints under ``REPRO_FAST``."""
+    values = tuple(values)
+    if fast_mode() and len(values) > 2:
+        return (values[0], values[-1])
+    return values
+
+
+def _reps(repetitions: int) -> int:
+    """Repetition count, capped at 1 under ``REPRO_FAST``."""
+    return 1 if fast_mode() else repetitions
 
 
 @functools.lru_cache(maxsize=8)
@@ -57,24 +86,28 @@ def tpch_database(scale_factor: float, data_scale: float = DATA_SCALE) -> Databa
     return tpch.generate(scale_factor, data_scale=data_scale)
 
 
-def _benchmark_workload(benchmark: str, scale_factor: float):
-    if benchmark == "ssb":
-        database = ssb_database(scale_factor)
-        return database, ssb.workload(database)
-    if benchmark == "tpch":
-        database = tpch_database(scale_factor)
-        return database, tpch.workload(database)
-    raise ValueError("unknown benchmark {!r}".format(benchmark))
+def clear_database_caches() -> None:
+    """Drop every cached database, workload, and memoised plan result.
+
+    Up to 8 full databases per generator can accumulate in a process
+    (16 with the per-cell workload cache on top); long pytest sessions
+    and pooled worker processes call this between phases to keep the
+    footprint flat.
+    """
+    ssb_database.cache_clear()
+    tpch_database.cache_clear()
+    clear_workload_cache()
+    plan_cache.invalidate()
 
 
 # ---------------------------------------------------------------------------
 # Figure 1 — query execution strategies on SSB Q3.3
 # ---------------------------------------------------------------------------
 
-def figure01(scale_factor: float = 20, repetitions: int = 5) -> ExperimentResult:
+def figure01(scale_factor: float = 20, repetitions: int = 5,
+             jobs: Optional[int] = None) -> ExperimentResult:
     """CPU vs. GPU (cold cache) vs. GPU (hot cache) for SSB Q3.3."""
-    database = ssb_database(scale_factor)
-    queries = ssb.workload(database, ["Q3.3"])
+    repetitions = _reps(repetitions)
     result = ExperimentResult(
         "Figure 1: SSB Q3.3 execution strategies (SF {})".format(scale_factor),
         notes="GPU with cold cache is slower than the CPU; hot cache wins.",
@@ -84,15 +117,19 @@ def figure01(scale_factor: float = 20, repetitions: int = 5) -> ExperimentResult
         ("gpu (cold cache)", "gpu_only", False),
         ("gpu (hot cache)", "gpu_only", True),
     ]
-    for label, strategy, warm in cases:
-        run = run_workload(
-            database, queries, strategy, config=FULL_CONFIG,
-            repetitions=repetitions, warm_cache=warm,
+    cells = [
+        Cell(
+            workload="ssb", scale_factor=scale_factor, strategy=strategy,
+            config=FULL_CONFIG, repetitions=repetitions, warm_cache=warm,
+            query_names=("Q3.3",),
         )
+        for _, strategy, warm in cases
+    ]
+    for (label, _, _), outcome in zip(cases, run_cells(cells, jobs)):
         result.add(
             strategy=label,
-            seconds=run.metrics.mean_latency("Q3.3"),
-            h2d_seconds=run.metrics.cpu_to_gpu_seconds / repetitions,
+            seconds=outcome.mean_latency("Q3.3"),
+            h2d_seconds=outcome.h2d_seconds / repetitions,
         )
     return result
 
@@ -107,34 +144,39 @@ def buffer_size_sweep(
     scale_factor: float = 10,
     repetitions: int = 10,
     title: str = "Serial selection workload vs. GPU buffer size",
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """The cache-thrashing micro benchmark (Appendix B.1).
 
     The working set is eight lineorder columns (1.9 GB at SF 10);
     operator-driven placement thrashes whenever the buffer is smaller.
     """
-    database = ssb_database(scale_factor)
-    queries = micro.serial_selection_workload(database)
-    result = ExperimentResult(title)
-    for strategy in strategies:
-        for gib in buffer_gib:
-            config = SystemConfig(
+    buffer_gib = _grid(buffer_gib)
+    repetitions = _reps(repetitions)
+    grid = [(strategy, gib) for strategy in strategies for gib in buffer_gib]
+    cells = [
+        Cell(
+            workload="micro_serial", scale_factor=scale_factor,
+            strategy=strategy,
+            config=SystemConfig(
                 gpu_memory_bytes=4 * GIB,
                 gpu_cache_bytes=int(gib * GIB),
-            )
-            run = run_workload(
-                database, queries, strategy, config=config,
-                repetitions=repetitions,
-            )
-            result.add(
-                strategy=strategy,
-                buffer_gib=gib,
-                seconds=run.seconds,
-                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
-                d2h_seconds=run.metrics.gpu_to_cpu_seconds,
-                cache_hit_rate=run.metrics.cache_hit_rate,
-                aborts=run.metrics.aborts,
-            )
+            ),
+            repetitions=repetitions,
+        )
+        for strategy, gib in grid
+    ]
+    result = ExperimentResult(title)
+    for (strategy, gib), outcome in zip(grid, run_cells(cells, jobs)):
+        result.add(
+            strategy=strategy,
+            buffer_gib=gib,
+            seconds=outcome.seconds,
+            h2d_seconds=outcome.h2d_seconds,
+            d2h_seconds=outcome.d2h_seconds,
+            cache_hit_rate=outcome.cache_hit_rate,
+            aborts=outcome.aborts,
+        )
     return result
 
 
@@ -176,30 +218,36 @@ def micro_users_sweep(
     scale_factor: float = 10,
     total_queries: int = 100,
     title: str = "Parallel selection workload vs. #users",
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """The heap-contention micro benchmark (Appendix B.2).
 
     One query with a 744 MiB first-operator footprint; about seven fit
     the ~5 GiB heap, so contention sets in beyond that.
     """
-    database = ssb_database(scale_factor)
-    queries = micro.parallel_selection_workload(database)
+    users = _grid(users)
+    if fast_mode():
+        total_queries = min(total_queries, 30)
+    grid = [(strategy, n_users) for strategy in strategies for n_users in users]
+    cells = [
+        Cell(
+            workload="micro_parallel", scale_factor=scale_factor,
+            strategy=strategy, config=MICRO_CONFIG,
+            users=n_users, repetitions=total_queries,
+        )
+        for strategy, n_users in grid
+    ]
     result = ExperimentResult(title)
-    for strategy in strategies:
-        for n_users in users:
-            run = run_workload(
-                database, queries, strategy, config=MICRO_CONFIG,
-                users=n_users, repetitions=total_queries,
-            )
-            result.add(
-                strategy=strategy,
-                users=n_users,
-                seconds=run.seconds,
-                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
-                d2h_seconds=run.metrics.gpu_to_cpu_seconds,
-                aborts=run.metrics.aborts,
-                wasted_seconds=run.metrics.wasted_seconds,
-            )
+    for (strategy, n_users), outcome in zip(grid, run_cells(cells, jobs)):
+        result.add(
+            strategy=strategy,
+            users=n_users,
+            seconds=outcome.seconds,
+            h2d_seconds=outcome.h2d_seconds,
+            d2h_seconds=outcome.d2h_seconds,
+            aborts=outcome.aborts,
+            wasted_seconds=outcome.wasted_seconds,
+        )
     return result
 
 
@@ -272,29 +320,37 @@ def scale_factor_sweep(
     strategies: Sequence[str] = FULL_WORKLOAD_STRATEGIES,
     repetitions: int = 2,
     title: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Workload time / transfer time / footprint vs. scale factor."""
+    scale_factors = _grid(scale_factors)
+    repetitions = _reps(repetitions)
+    grid = [
+        (scale_factor, strategy)
+        for scale_factor in scale_factors
+        for strategy in strategies
+    ]
+    cells = [
+        Cell(
+            workload=benchmark, scale_factor=scale_factor, strategy=strategy,
+            config=FULL_CONFIG, repetitions=repetitions,
+        )
+        for scale_factor, strategy in grid
+    ]
     result = ExperimentResult(
         title or "Scale factor sweep ({})".format(benchmark)
     )
-    for scale_factor in scale_factors:
-        database, queries = _benchmark_workload(benchmark, scale_factor)
-        footprint = workload_footprint_bytes(queries, database)
-        for strategy in strategies:
-            run = run_workload(
-                database, queries, strategy, config=FULL_CONFIG,
-                repetitions=repetitions,
-            )
-            result.add(
-                benchmark=benchmark,
-                scale_factor=scale_factor,
-                strategy=strategy,
-                seconds=run.seconds,
-                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
-                d2h_seconds=run.metrics.gpu_to_cpu_seconds,
-                aborts=run.metrics.aborts,
-                footprint_gib=footprint / GIB,
-            )
+    for (scale_factor, strategy), outcome in zip(grid, run_cells(cells, jobs)):
+        result.add(
+            benchmark=benchmark,
+            scale_factor=scale_factor,
+            strategy=strategy,
+            seconds=outcome.seconds,
+            h2d_seconds=outcome.h2d_seconds,
+            d2h_seconds=outcome.d2h_seconds,
+            aborts=outcome.aborts,
+            footprint_gib=outcome.footprint_bytes / GIB,
+        )
     return result
 
 
@@ -319,24 +375,34 @@ def figure15(benchmark: str = "ssb", **kwargs) -> ExperimentResult:
 def figure16(
     benchmarks: Sequence[str] = ("ssb", "tpch"),
     scale_factors: Sequence[float] = (5, 10, 15, 20, 30),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Workload memory footprint vs. scale factor (no execution)."""
+    scale_factors = _grid(scale_factors)
+    grid = [
+        (benchmark, scale_factor)
+        for benchmark in benchmarks
+        for scale_factor in scale_factors
+    ]
+    cells = [
+        Cell(workload=benchmark, scale_factor=scale_factor,
+             measure="footprint")
+        for benchmark, scale_factor in grid
+    ]
     result = ExperimentResult(
         "Figure 16: memory footprint of the workloads",
         notes="The GPU data cache is {} GiB.".format(
             FULL_CONFIG.gpu_cache_bytes / GIB
         ),
     )
-    for benchmark in benchmarks:
-        for scale_factor in scale_factors:
-            database, queries = _benchmark_workload(benchmark, scale_factor)
-            footprint = workload_footprint_bytes(queries, database)
-            result.add(
-                benchmark=benchmark,
-                scale_factor=scale_factor,
-                footprint_gib=footprint / GIB,
-                exceeds_cache=footprint > FULL_CONFIG.gpu_cache_bytes,
-            )
+    for (benchmark, scale_factor), outcome in zip(grid, run_cells(cells, jobs)):
+        footprint = outcome.footprint_bytes
+        result.add(
+            benchmark=benchmark,
+            scale_factor=scale_factor,
+            footprint_gib=footprint / GIB,
+            exceeds_cache=footprint > FULL_CONFIG.gpu_cache_bytes,
+        )
     return result
 
 
@@ -354,23 +420,26 @@ def query_latencies(
     repetitions: int = 3,
     query_names: Optional[Sequence[str]] = None,
     title: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Mean per-query latency per strategy."""
-    database, queries = _benchmark_workload(benchmark, scale_factor)
-    if query_names is not None:
-        queries = [q for q in queries if q.name in set(query_names)]
+    repetitions = _reps(repetitions)
+    cells = [
+        Cell(
+            workload=benchmark, scale_factor=scale_factor, strategy=strategy,
+            config=FULL_CONFIG, users=users, repetitions=repetitions,
+            query_names=tuple(query_names) if query_names is not None else None,
+        )
+        for strategy in strategies
+    ]
     result = ExperimentResult(
         title
         or "Per-query latencies ({}, SF {}, {} users)".format(
             benchmark, scale_factor, users
         )
     )
-    for strategy in strategies:
-        run = run_workload(
-            database, queries, strategy, config=FULL_CONFIG,
-            users=users, repetitions=repetitions,
-        )
-        for name, latency in run.metrics.latencies_by_query().items():
+    for strategy, outcome in zip(strategies, run_cells(cells, jobs)):
+        for name, latency in outcome.latencies.items():
             result.add(
                 query=name, strategy=strategy, seconds=latency
             )
@@ -398,29 +467,34 @@ def benchmark_users_sweep(
     ),
     repetitions: int = 3,
     title: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Workload time, transfer time, aborts and wasted time vs. #users."""
-    database, queries = _benchmark_workload(benchmark, scale_factor)
+    users = _grid(users)
+    repetitions = _reps(repetitions)
+    grid = [(strategy, n_users) for strategy in strategies for n_users in users]
+    cells = [
+        Cell(
+            workload=benchmark, scale_factor=scale_factor, strategy=strategy,
+            config=FULL_CONFIG, users=n_users, repetitions=repetitions,
+        )
+        for strategy, n_users in grid
+    ]
     result = ExperimentResult(
         title
         or "User parallelism sweep ({}, SF {})".format(benchmark, scale_factor)
     )
-    for strategy in strategies:
-        for n_users in users:
-            run = run_workload(
-                database, queries, strategy, config=FULL_CONFIG,
-                users=n_users, repetitions=repetitions,
-            )
-            result.add(
-                benchmark=benchmark,
-                strategy=strategy,
-                users=n_users,
-                seconds=run.seconds,
-                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
-                d2h_seconds=run.metrics.gpu_to_cpu_seconds,
-                aborts=run.metrics.aborts,
-                wasted_seconds=run.metrics.wasted_seconds,
-            )
+    for (strategy, n_users), outcome in zip(grid, run_cells(cells, jobs)):
+        result.add(
+            benchmark=benchmark,
+            strategy=strategy,
+            users=n_users,
+            seconds=outcome.seconds,
+            h2d_seconds=outcome.h2d_seconds,
+            d2h_seconds=outcome.d2h_seconds,
+            aborts=outcome.aborts,
+            wasted_seconds=outcome.wasted_seconds,
+        )
     return result
 
 
@@ -471,23 +545,28 @@ def figure25(
     ),
     scale_factor: float = 10,
     repetitions: int = 2,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Latencies of all SSB queries for a varying number of users."""
-    database, queries = _benchmark_workload("ssb", scale_factor)
+    users = _grid(users)
+    repetitions = _reps(repetitions)
+    grid = [(strategy, n_users) for strategy in strategies for n_users in users]
+    cells = [
+        Cell(
+            workload="ssb", scale_factor=scale_factor, strategy=strategy,
+            config=FULL_CONFIG, users=n_users, repetitions=repetitions,
+        )
+        for strategy, n_users in grid
+    ]
     result = ExperimentResult(
         "Figure 25: SSB query latencies vs. #users (SF {})".format(scale_factor)
     )
-    for strategy in strategies:
-        for n_users in users:
-            run = run_workload(
-                database, queries, strategy, config=FULL_CONFIG,
-                users=n_users, repetitions=repetitions,
+    for (strategy, n_users), outcome in zip(grid, run_cells(cells, jobs)):
+        for name, latency in outcome.latencies.items():
+            result.add(
+                query=name, strategy=strategy, users=n_users,
+                seconds=latency,
             )
-            for name, latency in run.metrics.latencies_by_query().items():
-                result.add(
-                    query=name, strategy=strategy, users=n_users,
-                    seconds=latency,
-                )
     return result
 
 
@@ -500,12 +579,14 @@ def engine_comparison(
     scale_factor: float = 10,
     repetitions: int = 3,
     title: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Per-query CPU and GPU backend latencies for both engine profiles.
 
     Substitution (DESIGN.md §2): Ocelot is modelled as a second
     calibration profile on the same simulated hardware.
     """
+    repetitions = _reps(repetitions)
     result = ExperimentResult(
         title
         or "Engine comparison on {} (SF {})".format(benchmark, scale_factor),
@@ -516,21 +597,26 @@ def engine_comparison(
     # configuration where neither cache thrashing nor heap contention
     # occurs — model that with a roomy device.
     roomy = SystemConfig(gpu_memory_bytes=8 * GIB, gpu_cache_bytes=5 * GIB)
-    for profile in (COGADB_PROFILE, OCELOT_PROFILE):
-        database, queries = _benchmark_workload(benchmark, scale_factor)
-        config = roomy.with_profile(profile)
-        for backend, strategy in (("cpu", "cpu_only"), ("gpu", "gpu_only")):
-            run = run_workload(
-                database, queries, strategy, config=config,
-                repetitions=repetitions,
+    grid = [
+        (profile, backend, strategy)
+        for profile in (COGADB_PROFILE, OCELOT_PROFILE)
+        for backend, strategy in (("cpu", "cpu_only"), ("gpu", "gpu_only"))
+    ]
+    cells = [
+        Cell(
+            workload=benchmark, scale_factor=scale_factor, strategy=strategy,
+            config=roomy.with_profile(profile), repetitions=repetitions,
+        )
+        for profile, backend, strategy in grid
+    ]
+    for (profile, backend, _), outcome in zip(grid, run_cells(cells, jobs)):
+        for name, latency in outcome.latencies.items():
+            result.add(
+                query=name,
+                engine=profile.name,
+                backend=backend,
+                seconds=latency,
             )
-            for name, latency in run.metrics.latencies_by_query().items():
-                result.add(
-                    query=name,
-                    engine=profile.name,
-                    backend=backend,
-                    seconds=latency,
-                )
     return result
 
 
@@ -559,6 +645,7 @@ def multi_gpu_scaling(
     strategies: Sequence[str] = ("data_driven_chopping", "chopping"),
     users: int = 10,
     repetitions: int = 2,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Scale-up with several co-processors.
 
@@ -569,36 +656,44 @@ def multi_gpu_scaling(
     partitions the hot columns across the devices; data-driven chopping
     sends each operator to the device holding its inputs.
     """
-    database, queries = _benchmark_workload(benchmark, scale_factor)
+    gpu_counts = _grid(gpu_counts)
+    repetitions = _reps(repetitions)
+    grid = [
+        (strategy, gpu_count)
+        for strategy in strategies
+        for gpu_count in gpu_counts
+    ]
+    cells = [
+        Cell(
+            workload=benchmark, scale_factor=scale_factor, strategy=strategy,
+            config=SystemConfig(
+                gpu_count=gpu_count,
+                gpu_memory_bytes=FULL_CONFIG.gpu_memory_bytes,
+                gpu_cache_bytes=FULL_CONFIG.gpu_cache_bytes,
+            ),
+            users=users, repetitions=repetitions,
+        )
+        for strategy, gpu_count in grid
+    ]
     result = ExperimentResult(
         "Extension: multi-GPU scale-up ({}, SF {}, {} users)".format(
             benchmark, scale_factor, users
         )
     )
-    for strategy in strategies:
-        for gpu_count in gpu_counts:
-            config = SystemConfig(
-                gpu_count=gpu_count,
-                gpu_memory_bytes=FULL_CONFIG.gpu_memory_bytes,
-                gpu_cache_bytes=FULL_CONFIG.gpu_cache_bytes,
-            )
-            run = run_workload(
-                database, queries, strategy, config=config,
-                users=users, repetitions=repetitions,
-            )
-            gpu_ops = sum(
-                count
-                for name, count in run.metrics.operators_per_processor.items()
-                if name != "cpu"
-            )
-            result.add(
-                strategy=strategy,
-                gpus=gpu_count,
-                seconds=run.seconds,
-                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
-                aborts=run.metrics.aborts,
-                gpu_operators=gpu_ops,
-            )
+    for (strategy, gpu_count), outcome in zip(grid, run_cells(cells, jobs)):
+        gpu_ops = sum(
+            count
+            for name, count in outcome.operators_per_processor.items()
+            if name != "cpu"
+        )
+        result.add(
+            strategy=strategy,
+            gpus=gpu_count,
+            seconds=outcome.seconds,
+            h2d_seconds=outcome.h2d_seconds,
+            aborts=outcome.aborts,
+            gpu_operators=gpu_ops,
+        )
     return result
 
 
@@ -611,31 +706,38 @@ def figure24(
     policies: Sequence[str] = ("lru", "lfu"),
     scale_factor: float = 10,
     repetitions: int = 2,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """SSB workload under Data-Driven with varying cache fraction.
 
     The fraction scales a 3.5 GiB budget so at least 0.5 GiB of heap
     remains for operator intermediates.
     """
-    database, queries = _benchmark_workload("ssb", scale_factor)
+    fractions = _grid(fractions)
+    repetitions = _reps(repetitions)
     budget = 3.0 * GIB
+    grid = [
+        (policy, fraction) for policy in policies for fraction in fractions
+    ]
+    cells = [
+        Cell(
+            workload="ssb", scale_factor=scale_factor, strategy="data_driven",
+            config=SystemConfig(
+                gpu_memory_bytes=4 * GIB,
+                gpu_cache_bytes=int(fraction * budget),
+            ),
+            repetitions=repetitions, placement_policy=policy,
+        )
+        for policy, fraction in grid
+    ]
     result = ExperimentResult(
         "Figure 24: LFU vs LRU data placement (SSB, SF {})".format(scale_factor)
     )
-    for policy in policies:
-        for fraction in fractions:
-            config = SystemConfig(
-                gpu_memory_bytes=4 * GIB,
-                gpu_cache_bytes=int(fraction * budget),
-            )
-            run = run_workload(
-                database, queries, "data_driven", config=config,
-                repetitions=repetitions, placement_policy=policy,
-            )
-            result.add(
-                policy=policy,
-                cache_fraction=fraction,
-                seconds=run.seconds,
-                h2d_seconds=run.metrics.cpu_to_gpu_seconds,
-            )
+    for (policy, fraction), outcome in zip(grid, run_cells(cells, jobs)):
+        result.add(
+            policy=policy,
+            cache_fraction=fraction,
+            seconds=outcome.seconds,
+            h2d_seconds=outcome.h2d_seconds,
+        )
     return result

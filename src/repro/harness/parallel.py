@@ -1,0 +1,215 @@
+"""Parallel experiment-grid execution.
+
+The paper's evaluation (Sec. 6, Figs. 1-25) is a grid of independent
+cells — strategy x users x scale factor x repetitions.  Every figure
+driver in :mod:`repro.harness.experiments` describes its grid as a list
+of declarative :class:`Cell` specs and hands them to :func:`run_cells`,
+which executes them either in-process (``jobs=1``, the default) or
+fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Guarantees:
+
+* **Determinism.**  Outcomes are returned in cell order regardless of
+  the worker count, and every cell is fully self-describing, so the
+  tables built from a parallel run are byte-identical to a sequential
+  run.
+* **Amortised setup.**  Databases and workload query lists are cached
+  per ``(workload, scale_factor, data_scale)`` in each process, so a
+  worker builds SSB at scale factor 10 once no matter how many cells it
+  executes against it.  Under the default ``fork`` start method the
+  workers additionally inherit any database the parent already built.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hardware import SystemConfig
+from repro.harness.runner import run_workload, workload_footprint_bytes
+
+#: Cell workload names understood by :func:`_cell_workload`.
+WORKLOADS = ("ssb", "tpch", "micro_serial", "micro_parallel")
+
+#: Environment variable consulted when no explicit jobs count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+_default_jobs: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (None = env/sequential).
+
+    The CLI and the example drivers call this once so every figure
+    driver they invoke picks up ``--jobs`` without threading the value
+    through each call site.
+    """
+    global _default_jobs
+    if jobs is not None and int(jobs) < 1:
+        raise ValueError("jobs must be >= 1, got {}".format(jobs))
+    _default_jobs = jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit > set_default_jobs > $REPRO_JOBS > 1."""
+    if jobs is None:
+        jobs = _default_jobs
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "")
+        if raw.strip():
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    "{}={!r} is not an integer".format(JOBS_ENV, raw)
+                )
+        else:
+            jobs = 1
+    if int(jobs) < 1:
+        raise ValueError("jobs must be >= 1, got {}".format(jobs))
+    return int(jobs)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One experiment-grid cell: a declarative ``run_workload`` call.
+
+    Cells are plain picklable data — everything a worker process needs
+    to reproduce the run, and nothing tied to live objects of the
+    parent process.
+    """
+
+    workload: str = "ssb"
+    scale_factor: float = 10.0
+    strategy: str = "cpu_only"
+    #: None uses the experiment module's DATA_SCALE default
+    data_scale: Optional[float] = None
+    config: Optional[SystemConfig] = None
+    users: int = 1
+    repetitions: int = 1
+    warm_cache: bool = True
+    placement_policy: str = "lfu"
+    #: restrict the workload to these query names (None = all)
+    query_names: Optional[Tuple[str, ...]] = None
+    #: "run" executes the workload; "footprint" only sizes it
+    measure: str = "run"
+
+    def __post_init__(self):
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                "unknown cell workload {!r}; expected one of {}".format(
+                    self.workload, WORKLOADS
+                )
+            )
+        if self.measure not in ("run", "footprint"):
+            raise ValueError("measure must be 'run' or 'footprint'")
+
+
+@dataclass
+class CellOutcome:
+    """The measurements one executed cell produced (picklable)."""
+
+    seconds: float = 0.0
+    h2d_seconds: float = 0.0
+    d2h_seconds: float = 0.0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    aborts: int = 0
+    wasted_seconds: float = 0.0
+    cache_hit_rate: float = 0.0
+    #: mean latency per query name
+    latencies: Dict[str, float] = field(default_factory=dict)
+    operators_per_processor: Dict[str, int] = field(default_factory=dict)
+    footprint_bytes: int = 0
+    #: wall-clock phase breakdown of the producing run
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def mean_latency(self, query_name: str) -> float:
+        return self.latencies.get(query_name, 0.0)
+
+
+@functools.lru_cache(maxsize=64)
+def _cell_workload(workload: str, scale_factor: float,
+                   data_scale: Optional[float],
+                   query_names: Optional[Tuple[str, ...]]):
+    """Per-process cache of (database, queries) for one cell shape."""
+    # Imported lazily: experiments imports this module at load time.
+    from repro.harness import experiments as E
+    from repro.workloads import micro, ssb, tpch
+
+    if data_scale is None:
+        data_scale = E.DATA_SCALE
+    if workload == "tpch":
+        database = E.tpch_database(scale_factor, data_scale)
+        queries = tpch.workload(database)
+    else:
+        database = E.ssb_database(scale_factor, data_scale)
+        if workload == "ssb":
+            queries = ssb.workload(database)
+        elif workload == "micro_serial":
+            queries = micro.serial_selection_workload(database)
+        else:
+            queries = micro.parallel_selection_workload(database)
+    if query_names is not None:
+        wanted = set(query_names)
+        queries = [q for q in queries if q.name in wanted]
+    return database, queries
+
+
+def clear_workload_cache() -> None:
+    """Drop the per-process (database, queries) cell cache."""
+    _cell_workload.cache_clear()
+
+
+def execute_cell(cell: Cell) -> CellOutcome:
+    """Execute one cell in the current process."""
+    database, queries = _cell_workload(
+        cell.workload, cell.scale_factor, cell.data_scale, cell.query_names
+    )
+    footprint = workload_footprint_bytes(queries, database)
+    if cell.measure == "footprint":
+        return CellOutcome(footprint_bytes=footprint)
+    run = run_workload(
+        database, queries, cell.strategy,
+        config=cell.config,
+        users=cell.users,
+        repetitions=cell.repetitions,
+        warm_cache=cell.warm_cache,
+        placement_policy=cell.placement_policy,
+    )
+    metrics = run.metrics
+    return CellOutcome(
+        seconds=metrics.workload_seconds,
+        h2d_seconds=metrics.cpu_to_gpu_seconds,
+        d2h_seconds=metrics.gpu_to_cpu_seconds,
+        h2d_bytes=metrics.cpu_to_gpu_bytes,
+        d2h_bytes=metrics.gpu_to_cpu_bytes,
+        aborts=metrics.aborts,
+        wasted_seconds=metrics.wasted_seconds,
+        cache_hit_rate=metrics.cache_hit_rate,
+        latencies=metrics.latencies_by_query(),
+        operators_per_processor=dict(metrics.operators_per_processor),
+        footprint_bytes=footprint,
+        phase_seconds=dict(metrics.phase_seconds),
+    )
+
+
+def run_cells(cells: Iterable[Cell],
+              jobs: Optional[int] = None) -> List[CellOutcome]:
+    """Execute ``cells`` and return their outcomes *in cell order*.
+
+    ``jobs`` (or the ``--jobs``/``REPRO_JOBS`` default) picks the
+    worker-process count; 1 executes in-process.  Cell ordering of the
+    result list is independent of the worker count, which is what makes
+    parallel figure regeneration byte-identical to sequential runs.
+    """
+    cells = list(cells)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(cells) <= 1:
+        return [execute_cell(cell) for cell in cells]
+    workers = min(jobs, len(cells))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(execute_cell, cells))

@@ -8,6 +8,8 @@ and documentation is detectable (`python -m repro report`).
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
@@ -24,6 +26,19 @@ class Claim:
     measure: Callable[[Dict], float]
     render: str  # format string applied to the measured value
     holds: Callable[[float], bool]
+
+
+@contextmanager
+def _pinned_grids():
+    """The claims index exact sweep points (SF 15, 20 users, ...), so
+    REPRO_FAST grid clipping must not apply here; the report's own
+    ``fast`` knob bounds its cost instead."""
+    saved = os.environ.pop(E.FAST_ENV, None)
+    try:
+        yield
+    finally:
+        if saved is not None:
+            os.environ[E.FAST_ENV] = saved
 
 
 def _collect_measurements(fast: bool = True) -> Dict:
@@ -163,7 +178,8 @@ CLAIMS: List[Claim] = [
 
 def generate_report(fast: bool = True) -> str:
     """Run the headline experiments and render the markdown report."""
-    data = _collect_measurements(fast=fast)
+    with _pinned_grids():
+        data = _collect_measurements(fast=fast)
     lines = [
         "# Reproduction report (regenerated)",
         "",

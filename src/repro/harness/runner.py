@@ -10,6 +10,7 @@ and wasted time.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional
 
 from repro.core import ChoppingExecutor, DataPlacementManager, get_strategy
@@ -86,9 +87,11 @@ def run_workload(
     strategy_obj: PlacementStrategy = get_strategy(strategy)
 
     # -- warm-up: statistics, functional memoisation, cache pre-load ----
+    wall_start = perf_counter()
     database.statistics.reset()
     for query in queries:
         execute_functional(query.template_plan(), database)
+    metrics.record_phase("numpy", perf_counter() - wall_start)
     placement = DataPlacementManager(
         database,
         caches=[device.cache for device in hardware.gpus],
@@ -145,8 +148,10 @@ def run_workload(
             if admission is not None:
                 request = admission.request()
                 yield request
+            plan_start = perf_counter()
             plan = query.instantiate()
             strategy_obj.prepare_plan(ctx, plan)
+            metrics.record_phase("plan", perf_counter() - plan_start)
             if vectorizer is not None:
                 result = yield vectorizer.submit(plan)
             elif chopper is not None:
@@ -159,13 +164,22 @@ def run_workload(
             if collect_results:
                 results[query.name] = result.payload
 
+    wall_start = perf_counter()
     for user_id, runs in enumerate(sessions):
         if runs:
             env.process(session(user_id, runs))
     env.run()
+    # The DES bucket is the event-loop wall time minus the planning
+    # slices timed inside the sessions.
+    metrics.record_phase(
+        "des",
+        perf_counter() - wall_start - metrics.phase_seconds.get("plan", 0.0),
+    )
     metrics.workload_seconds = env.now
     if validate:
+        wall_start = perf_counter()
         validate_results(database, queries, results)
+        metrics.record_phase("validate", perf_counter() - wall_start)
     return WorkloadResult(
         metrics=metrics, results=results, strategy=strategy, users=users,
         trace=ctx.trace,

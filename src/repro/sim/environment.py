@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.sim.events import (
@@ -26,6 +26,8 @@ class Environment:
     instant are processed in (priority, insertion order), which makes
     runs exactly reproducible.
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -71,7 +73,7 @@ class Environment:
                  delay: float = 0.0) -> None:
         """Queue ``event`` to be processed ``delay`` seconds from now."""
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
@@ -81,10 +83,10 @@ class Environment:
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        try:
-            when, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
+        queue = self._queue
+        if not queue:
             raise EmptySchedule()
+        when, _, _, event = heappop(queue)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
@@ -99,10 +101,23 @@ class Environment:
         """Run until the queue is empty or the clock reaches ``until``."""
         if until is not None and until < self._now:
             raise ValueError("cannot run backwards in time")
-        while self._queue:
-            if until is not None and self.peek() > until:
+        queue = self._queue
+        if until is None:
+            # Hot path: inline step() without the per-iteration bound
+            # check (the common full-drain call of the harness).
+            while queue:
+                when, _, _, event = heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
+            return
+        while queue:
+            if queue[0][0] > until:
                 self._now = until
                 return
             self.step()
-        if until is not None:
-            self._now = until
+        self._now = until

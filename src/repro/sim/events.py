@@ -3,6 +3,10 @@
 Events are one-shot: they move from *pending* to *triggered* (a value or
 an exception is attached and the event is scheduled) to *processed*
 (callbacks have run).  Processes wait on events by yielding them.
+
+The classes here sit on the simulator's hottest path — every simulated
+operator, transfer, and queue interaction allocates a handful of them —
+so they declare ``__slots__`` and keep ``__init__`` minimal.
 """
 
 from __future__ import annotations
@@ -30,6 +34,8 @@ class Event:
     event queue; when the environment processes it, all registered
     callbacks run.  Waiting processes register themselves as callbacks.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment"):  # noqa: F821 - circular import
         self.env = env
@@ -96,24 +102,33 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise ValueError("negative delay {}".format(delay))
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ plus immediate scheduling: timeouts are
+        # the single most frequent event of the simulation.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self.defused = False
+        self.delay = delay
         env.schedule(self, priority=PRIORITY_NORMAL, delay=delay)
 
 
 class Initialize(Event):
     """Immediate event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):  # noqa: F821
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
+        self._ok = True
+        self.defused = False
         env.schedule(self, priority=PRIORITY_URGENT)
 
 
@@ -121,6 +136,8 @@ class Process(Event):
     """A running generator.  Itself an event: it triggers when the
     generator returns (successfully, with the return value) or raises.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):  # noqa: F821
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -155,38 +172,41 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.env._active_process = self
+        env = self.env
+        generator = self._generator
+        env._active_process = self
         self._target = None
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event.defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(getattr(stop, "value", None))
                 return
             except BaseException as error:  # generator raised
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(error)
                 return
 
             if not isinstance(next_event, Event):
-                self.env._active_process = None
+                env._active_process = None
                 error = RuntimeError(
                     "process yielded a non-event: {!r}".format(next_event)
                 )
-                self._generator.throw(error)
+                generator.throw(error)
                 return
-            if next_event.callbacks is None:
+            callbacks = next_event.callbacks
+            if callbacks is None:
                 # Already processed: continue immediately with its outcome.
                 event = next_event
                 continue
-            next_event.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = next_event
-            self.env._active_process = None
+            env._active_process = None
             return
 
 
@@ -197,6 +217,8 @@ class Condition(Event):
     callbacks ran), not merely once it is triggered — a ``Timeout`` is
     triggered at creation but only "happens" at its scheduled time.
     """
+
+    __slots__ = ("events", "_done")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):  # noqa: F821
         super().__init__(env)
@@ -243,6 +265,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once every sub-event has succeeded (fails fast)."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._done == len(self.events)
 
@@ -250,6 +274,8 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Triggers once any sub-event has succeeded (or immediately when
     created over an empty list)."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._done >= 1 or not self.events

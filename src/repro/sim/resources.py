@@ -9,7 +9,8 @@ ready queues of the query-chopping executor.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List
+from heapq import heappop, heappush
+from typing import Any, Deque, List, Optional
 
 from repro.sim.events import Event
 
@@ -21,6 +22,8 @@ class Request(Event):
     passed back to :meth:`Resource.release` exactly once.
     """
 
+    __slots__ = ("resource", "granted")
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -29,6 +32,8 @@ class Request(Event):
 
 class Resource:
     """A counted resource with a FIFO wait queue."""
+
+    __slots__ = ("env", "capacity", "_in_use", "_waiting")
 
     def __init__(self, env, capacity: int):
         if capacity < 1:
@@ -85,40 +90,49 @@ class PriorityStore:
     shortest-job-first ready-queue variant.
     """
 
+    __slots__ = ("env", "_heap", "_seq", "_getters", "_sorted_view")
+
     def __init__(self, env):
         self.env = env
         self._heap: List = []
         self._seq = 0
         self._getters: Deque[Event] = deque()
+        #: memoised delivery-order snapshot; invalidated on put/get so
+        #: repeated inspection (scheduling heuristics, traces) does not
+        #: re-sort the whole heap on every call
+        self._sorted_view: Optional[List[Any]] = None
 
     def __len__(self) -> int:
         return len(self._heap)
 
     @property
     def items(self) -> List[Any]:
-        """Snapshot of queued items in delivery order."""
-        import heapq
+        """Snapshot of queued items in delivery order.
 
-        return [item for _, _, item in sorted(self._heap)]
+        The sorted view is computed lazily and cached until the next
+        ``put``/``get`` — inspecting an unchanged store is O(1) instead
+        of O(n log n) per call.
+        """
+        if self._sorted_view is None:
+            self._sorted_view = [item for _, _, item in sorted(self._heap)]
+        return list(self._sorted_view)
 
     def put(self, item: Any, priority: float = 0.0) -> None:
         """Queue ``item``; wakes the oldest waiting consumer, if any."""
-        import heapq
-
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
             return
         self._seq += 1
-        heapq.heappush(self._heap, (priority, self._seq, item))
+        heappush(self._heap, (priority, self._seq, item))
+        self._sorted_view = None
 
     def get(self) -> Event:
         """Event that succeeds with the lowest-priority item."""
-        import heapq
-
         event = Event(self.env)
         if self._heap:
-            _, _, item = heapq.heappop(self._heap)
+            _, _, item = heappop(self._heap)
+            self._sorted_view = None
             event.succeed(item)
         else:
             self._getters.append(event)
@@ -127,6 +141,8 @@ class PriorityStore:
 
 class Store:
     """An unbounded FIFO store with blocking ``get``."""
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env):
         self.env = env

@@ -195,6 +195,11 @@ def compress_column(column: Column) -> ColumnCompression:
 
 def compress_database(database: Database) -> Dict[str, ColumnCompression]:
     """Compress every column; returns {column key: compression}."""
+    # Compression rewrites column metadata in place: results memoised
+    # against the uncompressed database must not survive it.
+    from repro.engine import plan_cache
+
+    plan_cache.invalidate(database)
     report = {}
     for column in database.columns():
         report[column.key] = compress_column(column)

@@ -19,6 +19,17 @@ def make_context(database, config=None):
     return env, hardware, ctx
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _bounded_experiment_caches():
+    """Drop the harness-level database/workload/plan-result caches when
+    the session ends, so back-to-back pytest runs (and the parallel
+    grid workers forked from one) never accumulate stale state."""
+    yield
+    from repro.harness.experiments import clear_database_caches
+
+    clear_database_caches()
+
+
 @pytest.fixture(scope="session")
 def ssb_db():
     """A small SSB database (actual arrays small, nominal tiny SF)."""

@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.engine import Planner, execute_reference
+from repro.engine import Planner, execute_reference, plan_cache
 from repro.engine.execution import execute_functional
 from repro.sql import bind
 from repro.workloads import micro, ssb, tpch
@@ -97,6 +97,65 @@ def test_micro_parallel_chain_equals_fused_selection(ssb_db):
     predicate = micro.parallel_selection_reference_predicate()
     mask = predicate.evaluate(Frame(ssb_db))
     assert result.actual_rows == int(np.count_nonzero(mask))
+
+
+def test_cross_plan_cache_serves_fresh_templates_correctly(ssb_db):
+    """A rebuilt workload (new template plans) is served from the
+    fingerprint cache and must still match the reference evaluator."""
+    plan_cache.invalidate(ssb_db)
+    plan_cache.reset_stats()
+    for query in ssb.workload(ssb_db):
+        execute_functional(query.instantiate(), ssb_db)
+    warm_stats = dict(plan_cache.stats)
+    assert warm_stats["stores"] > 0
+
+    # Fresh WorkloadQuery objects: nothing memoised on their templates,
+    # so every fingerprintable subplan resolves via the cross-plan cache.
+    for query in ssb.workload(ssb_db):
+        engine_rows = execute_functional(
+            query.instantiate(), ssb_db
+        ).payload.row_tuples()
+        reference_rows = execute_reference(query.spec, ssb_db)
+        assert rows_close(engine_rows, reference_rows), query.name
+    assert plan_cache.stats["hits"] > warm_stats["hits"]
+    assert plan_cache.stats["stores"] == warm_stats["stores"]
+    plan_cache.invalidate(ssb_db)
+
+
+def test_clone_memo_poisoning_does_not_leak_across_runs(ssb_db):
+    """Rebinding ``_cached_result`` on a clone's operators must affect
+    neither the template, the cross-plan cache, nor later clones."""
+    plan_cache.invalidate(ssb_db)
+    query = ssb.workload(ssb_db)[0]
+    execute_functional(query.template_plan(), ssb_db)
+
+    poisoned = query.instantiate()
+    for op in poisoned.root.walk():
+        op._cached_result = (None, -1, -1, -1)
+
+    fresh = query.instantiate()
+    engine_rows = execute_functional(fresh, ssb_db).payload.row_tuples()
+    reference_rows = execute_reference(query.spec, ssb_db)
+    assert rows_close(engine_rows, reference_rows)
+    for op in query.template_plan().root.walk():
+        assert op._cached_result != (None, -1, -1, -1)
+    plan_cache.invalidate(ssb_db)
+
+
+def test_plan_cache_invalidate_forces_recomputation(ssb_db):
+    """After invalidation a fresh template stores anew (no stale hits)."""
+    plan_cache.invalidate(ssb_db)
+    plan_cache.reset_stats()
+    query = ssb.workload(ssb_db)[0]
+    execute_functional(query.instantiate(), ssb_db)
+    assert plan_cache.cache_size(ssb_db) > 0
+    plan_cache.invalidate(ssb_db)
+    assert plan_cache.cache_size(ssb_db) == 0
+    stores_before = plan_cache.stats["stores"]
+    rebuilt = ssb.workload(ssb_db)[0]
+    execute_functional(rebuilt.instantiate(), ssb_db)
+    assert plan_cache.stats["stores"] > stores_before
+    plan_cache.invalidate(ssb_db)
 
 
 def test_ssb_q11_revenue_value(ssb_db):
