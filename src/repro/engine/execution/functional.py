@@ -18,9 +18,9 @@ from repro.storage import Database
 def execute_functional(plan: PhysicalPlan, database: Database) -> OperatorResult:
     """Execute ``plan`` immediately; returns the root result."""
     results: Dict[int, OperatorResult] = {}
+    statistics = database.statistics
     for op in plan.operators:  # post order: children first
         child_results = [results[c.op_id] for c in op.children]
         results[op.op_id] = op.produce(database, child_results)
-        for key in op.required_columns():
-            database.statistics.record_access(key)
+        statistics.record_accesses(op.required_columns())
     return results[plan.root.op_id]

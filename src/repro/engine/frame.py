@@ -13,11 +13,19 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.engine.intermediates import SelectionVector
 from repro.storage import Column, Database
 
 
 class Frame:
-    """Column resolver for expression evaluation."""
+    """Column resolver for expression evaluation.
+
+    Position entries are tid arrays or lazy
+    :class:`~repro.engine.intermediates.SelectionVector` masks; a
+    full-table selection resolves to the base array with no copy.
+    Gathers are memoised per frame (expressions never mutate their
+    inputs), so a predicate reading one column twice pays one gather.
+    """
 
     def __init__(
         self,
@@ -26,12 +34,16 @@ class Frame:
     ):
         self._database = database
         self._positions = positions
+        self._arrays: Dict[str, np.ndarray] = {}
 
     def array(self, key: str) -> np.ndarray:
         """Values of ``table.column`` at this frame's row positions."""
         column = self._database.column(key)
         if self._positions is None:
             return column.values
+        cached = self._arrays.get(key)
+        if cached is not None:
+            return cached
         table_name = key.partition(".")[0]
         try:
             positions = self._positions[table_name]
@@ -41,7 +53,15 @@ class Frame:
                     table_name, key
                 )
             )
-        return column.gather(positions)
+        if isinstance(positions, SelectionVector):
+            if positions.is_all and positions.n == len(column.values):
+                values = column.values
+            else:
+                values = column.gather(positions.tids)
+        else:
+            values = column.gather(positions)
+        self._arrays[key] = values
+        return values
 
     def column_meta(self, key: str) -> Column:
         """The column object (for dictionary lookups)."""

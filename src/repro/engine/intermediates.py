@@ -5,6 +5,8 @@ shapes exist:
 
 * :class:`TidSet` — aligned row positions per base table (the output of
   selections and joins in a column store with positional processing).
+  Entries are either materialised tid arrays or lazy
+  :class:`SelectionVector` masks.
 * :class:`ResultFrame` — materialised value columns (the output of
   aggregation, sorting, and final projection).
 
@@ -20,8 +22,68 @@ from typing import Dict, List, Optional
 import numpy as np
 
 
+class SelectionVector:
+    """Lazily materialised selection over one base table.
+
+    Carries a boolean ``mask`` over the table's rows — or, with
+    ``mask=None``, stands for the whole table.  The ascending tid array
+    is computed on first use and cached, so selection chains combine
+    masks with boolean AND instead of paying ``flatnonzero`` + gather +
+    ``intersect1d`` at every step, and full-table selections gather
+    nothing at all.  Instances are immutable by convention: operators
+    share them freely across cached results.
+    """
+
+    __slots__ = ("mask", "n", "_tids", "_count")
+
+    def __init__(self, mask: Optional[np.ndarray] = None,
+                 n: Optional[int] = None):
+        if mask is None:
+            if n is None:
+                raise ValueError("SelectionVector needs a mask or a row count")
+            self.mask = None
+            self.n = int(n)
+            self._count: Optional[int] = self.n
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            self.mask = mask
+            self.n = len(mask)
+            self._count = None
+        self._tids: Optional[np.ndarray] = None
+
+    @property
+    def tids(self) -> np.ndarray:
+        """Selected row positions, ascending (materialised on demand)."""
+        if self._tids is None:
+            if self.mask is None:
+                self._tids = np.arange(self.n, dtype=np.int64)
+            else:
+                self._tids = np.flatnonzero(self.mask)
+            self._count = len(self._tids)
+        return self._tids
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = int(np.count_nonzero(self.mask))
+        return self._count
+
+    @property
+    def is_all(self) -> bool:
+        """True when every row of the table is selected."""
+        return len(self) == self.n
+
+    def __repr__(self) -> str:
+        return "<SelectionVector {}/{} rows{}>".format(
+            len(self), self.n, " lazy" if self._tids is None else ""
+        )
+
+
 class TidSet:
-    """Aligned row positions for one or more base tables."""
+    """Aligned row positions for one or more base tables.
+
+    Each entry is a tid array or a :class:`SelectionVector`;
+    :meth:`positions` always yields the materialised tid array.
+    """
 
     def __init__(self, tables: Dict[str, np.ndarray]):
         if not tables:
@@ -42,7 +104,28 @@ class TidSet:
         return list(self.tables)
 
     def positions(self, table_name: str) -> np.ndarray:
-        return self.tables[table_name]
+        entry = self.tables[table_name]
+        if isinstance(entry, SelectionVector):
+            return entry.tids
+        return entry
+
+    def selection(self, table_name: str) -> Optional[SelectionVector]:
+        """The table's lazy selection, if this entry carries one."""
+        entry = self.tables.get(table_name)
+        return entry if isinstance(entry, SelectionVector) else None
+
+    def gather(self, table_name: str, column) -> np.ndarray:
+        """``column`` values at this TidSet's positions for the table.
+
+        A full-table selection returns the base array itself — no copy;
+        downstream kernels treat input arrays as read-only.
+        """
+        entry = self.tables[table_name]
+        if isinstance(entry, SelectionVector):
+            if entry.is_all and entry.n == len(column.values):
+                return column.values
+            return column.gather(entry.tids)
+        return column.gather(entry)
 
     def __repr__(self) -> str:
         return "<TidSet {} rows over {}>".format(len(self), self.table_names)
@@ -63,6 +146,9 @@ class ResultFrame:
             raise ValueError("misaligned frame lengths: {}".format(lengths))
         self.columns = columns
         self.dictionaries = dictionaries or {}
+        #: per-column object-array view of the dictionary, built lazily
+        #: so decoding is a single fancy-index instead of a Python loop
+        self._dict_arrays: Dict[str, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(next(iter(self.columns.values())))
@@ -80,7 +166,11 @@ class ResultFrame:
         dictionary = self.dictionaries.get(name)
         if dictionary is None:
             return list(values)
-        return [dictionary[int(code)] for code in values]
+        lookup = self._dict_arrays.get(name)
+        if lookup is None:
+            lookup = np.asarray(dictionary, dtype=object)
+            self._dict_arrays[name] = lookup
+        return list(lookup[values])
 
     def row_tuples(self) -> List[tuple]:
         """All rows as tuples with strings decoded (for tests/output)."""

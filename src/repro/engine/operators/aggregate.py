@@ -81,12 +81,26 @@ class GroupByAggregate(PhysicalOperator):
             group_arrays = [
                 np.asarray(ref.evaluate(frame)) for ref in self.group_refs
             ]
-            stacked = np.stack(group_arrays, axis=1) if group_arrays else None
-            uniques, inverse = np.unique(stacked, axis=0, return_inverse=True)
+            if len(group_arrays) == 1:
+                # Single-key grouping skips the row-matrix stack; the
+                # 1-D unique yields the same sorted groups and inverse.
+                uniques, inverse = np.unique(
+                    group_arrays[0], return_inverse=True
+                )
+                group_columns = [uniques.astype(group_arrays[0].dtype)]
+            else:
+                stacked = np.stack(group_arrays, axis=1)
+                uniques, inverse = np.unique(
+                    stacked, axis=0, return_inverse=True
+                )
+                group_columns = [
+                    uniques[:, i].astype(group_arrays[i].dtype)
+                    for i in range(len(group_arrays))
+                ]
             n_groups = len(uniques)
             for i, ref in enumerate(self.group_refs):
                 name = ref.name
-                columns[name] = uniques[:, i].astype(group_arrays[i].dtype)
+                columns[name] = group_columns[i]
                 meta = database.column(ref.key)
                 if meta.ctype is ColumnType.STRING:
                     dictionaries[name] = meta.dictionary

@@ -109,9 +109,10 @@ class FrameFilter(PhysicalOperator):
         frame = child.payload
         if not isinstance(frame, ResultFrame):
             raise TypeError("FrameFilter expects a ResultFrame input")
-        mask = np.asarray(self.predicate.evaluate(_FrameResolver(frame)))
-        keep = np.flatnonzero(mask)
-        columns = {name: arr[keep] for name, arr in frame.columns.items()}
+        mask = np.asarray(
+            self.predicate.evaluate(_FrameResolver(frame)), dtype=bool
+        )
+        columns = {name: arr[mask] for name, arr in frame.columns.items()}
         filtered = ResultFrame(columns, frame.dictionaries)
         ratio = len(filtered) / max(len(frame), 1)
         return OperatorResult(

@@ -6,8 +6,9 @@ from typing import List, Set
 
 import numpy as np
 
+from repro.engine import kernels
 from repro.engine.expressions import ColumnRef
-from repro.engine.intermediates import OperatorResult, TidSet
+from repro.engine.intermediates import OperatorResult, SelectionVector, TidSet
 from repro.engine.operators.base import (
     PhysicalOperator,
     TID_BYTES,
@@ -98,21 +99,50 @@ class HashJoin(PhysicalOperator):
     def run(self, database: Database,
             child_results: List[OperatorResult]) -> OperatorResult:
         probe, build = child_results
-        probe_tids = probe.payload.positions(self.probe_key.table)
-        build_tids = build.payload.positions(self.build_key.table)
-        probe_values = database.column(self.probe_key.key).gather(probe_tids)
-        build_values = database.column(self.build_key.key).gather(build_tids)
-        probe_idx, build_idx = _expand_matches(probe_values, build_values)
+        probe_payload = probe.payload
+        build_payload = build.payload
+        probe_column = database.column(self.probe_key.key)
+        build_column = database.column(self.build_key.key)
+        probe_values = probe_payload.gather(self.probe_key.table, probe_column)
+
+        # Cached-index fast path: the build side is a (lazy) selection
+        # over a single base table, so the memoised index of the full
+        # key column replaces the per-execution argsort.  Output tids
+        # are byte-identical to the seed expansion.
+        cached = None
+        build_selection = build_payload.selection(self.build_key.table)
+        if build_selection is not None and len(build_payload.tables) == 1:
+            cache = kernels.cache_for(database)
+            if cache is not None:
+                cached = kernels.expand_with_index(
+                    cache, probe_values, build_selection, build_column
+                )
+        if cached is not None:
+            probe_idx, build_tids = cached
+            build_tables = {self.build_key.table: build_tids}
+        else:
+            build_values = build_payload.gather(
+                self.build_key.table, build_column
+            )
+            probe_idx, build_idx = _expand_matches(probe_values, build_values)
+            build_tables = {
+                name: build_payload.positions(name)[build_idx]
+                for name in build_payload.table_names
+            }
 
         tables = {}
-        for name, tids in probe.payload.tables.items():
-            tables[name] = tids[probe_idx]
-        for name, tids in build.payload.tables.items():
+        for name in probe_payload.table_names:
+            entry = probe_payload.tables[name]
+            if isinstance(entry, SelectionVector) and entry.is_all:
+                tables[name] = probe_idx
+            else:
+                tables[name] = probe_payload.positions(name)[probe_idx]
+        for name, tids in build_tables.items():
             if name in tables:
                 raise ValueError(
                     "table {} appears on both join sides".format(name)
                 )
-            tables[name] = tids[build_idx]
+            tables[name] = tids
 
         nominal = scaled_nominal_rows(
             len(probe_idx), max(probe.actual_rows, 1), probe.nominal_rows

@@ -58,12 +58,21 @@ class Materialize(PhysicalOperator):
         frame = Frame(database, payload.tables)
         columns: Dict[str, np.ndarray] = {}
         dictionaries: Dict[str, list] = {}
+        gathered: Dict[str, np.ndarray] = {}
         for alias, expr in self.items:
-            columns[alias] = np.asarray(expr.evaluate(frame))
             if isinstance(expr, ColumnRef):
+                # Aliases projecting the same base column share one
+                # gathered array (results are read-only downstream).
+                array = gathered.get(expr.key)
+                if array is None:
+                    array = np.asarray(expr.evaluate(frame))
+                    gathered[expr.key] = array
+                columns[alias] = array
                 meta = database.column(expr.key)
                 if meta.ctype is ColumnType.STRING:
                     dictionaries[alias] = meta.dictionary
+            else:
+                columns[alias] = np.asarray(expr.evaluate(frame))
         frame_out = ResultFrame(columns, dictionaries)
         return OperatorResult(
             frame_out,

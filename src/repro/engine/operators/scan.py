@@ -6,9 +6,10 @@ from typing import List, Optional, Set
 
 import numpy as np
 
+from repro.engine import kernels
 from repro.engine.expressions import Expression
 from repro.engine.frame import Frame
-from repro.engine.intermediates import OperatorResult, TidSet
+from repro.engine.intermediates import OperatorResult, SelectionVector, TidSet
 from repro.engine.operators.base import (
     PhysicalOperator,
     TID_BYTES,
@@ -61,23 +62,38 @@ class ScanSelect(PhysicalOperator):
     def run(self, database: Database,
             child_results: List[OperatorResult]) -> OperatorResult:
         table = database.table(self.table)
+        cache = kernels.cache_for(database)
         if self.predicate is None:
-            tids = np.arange(table.actual_rows, dtype=np.int64)
+            if cache is not None:
+                entry = SelectionVector(n=table.actual_rows)
+            else:
+                entry = np.arange(table.actual_rows, dtype=np.int64)
             # No materialised intermediate: downstream operators read
             # the base columns directly.
             return OperatorResult(
-                TidSet({self.table: tids}),
-                actual_rows=len(tids),
+                TidSet({self.table: entry}),
+                actual_rows=table.actual_rows,
                 nominal_rows=table.nominal_rows,
                 row_width_bytes=0,
             )
-        mask = self.predicate.evaluate(Frame(database))
-        tids = np.flatnonzero(mask)
-        nominal = scaled_nominal_rows(len(tids), table.actual_rows,
+        if cache is not None:
+            mask = kernels.scan_mask(database, self.table, self.predicate,
+                                     cache)
+            if mask is None:
+                mask = np.asarray(
+                    self.predicate.evaluate(Frame(database)), dtype=bool
+                )
+            entry = SelectionVector(mask)
+            n_out = len(entry)
+        else:
+            mask = self.predicate.evaluate(Frame(database))
+            entry = np.flatnonzero(mask)
+            n_out = len(entry)
+        nominal = scaled_nominal_rows(n_out, table.actual_rows,
                                       table.nominal_rows)
         return OperatorResult(
-            TidSet({self.table: tids}),
-            actual_rows=len(tids),
+            TidSet({self.table: entry}),
+            actual_rows=n_out,
             nominal_rows=nominal,
             row_width_bytes=TID_BYTES,
         )
@@ -127,16 +143,31 @@ class RefineSelect(PhysicalOperator):
     def run(self, database: Database,
             child_results: List[OperatorResult]) -> OperatorResult:
         (child,) = child_results
-        tids = child.payload.positions(self.table)
-        frame = Frame(database, {self.table: tids})
-        mask = self.predicate.evaluate(frame)
-        refined = tids[np.flatnonzero(mask)]
+        selection = child.payload.selection(self.table)
+        if selection is not None and kernels.enabled():
+            # Lazy path: evaluate the predicate over the full column
+            # (elementwise, so restriction commutes with evaluation)
+            # and AND the masks — no gather, no flatnonzero.
+            kernels.stats["masked_refines"] += 1
+            mask = np.asarray(
+                self.predicate.evaluate(Frame(database)), dtype=bool
+            )
+            if selection.mask is not None:
+                mask = selection.mask & mask
+            entry = SelectionVector(mask)
+            n_out = len(entry)
+        else:
+            tids = child.payload.positions(self.table)
+            frame = Frame(database, {self.table: tids})
+            mask = self.predicate.evaluate(frame)
+            entry = tids[np.flatnonzero(mask)]
+            n_out = len(entry)
         nominal = scaled_nominal_rows(
-            len(refined), max(child.actual_rows, 1), child.nominal_rows
+            n_out, max(child.actual_rows, 1), child.nominal_rows
         )
         return OperatorResult(
-            TidSet({self.table: refined}),
-            actual_rows=len(refined),
+            TidSet({self.table: entry}),
+            actual_rows=n_out,
             nominal_rows=nominal,
             row_width_bytes=TID_BYTES,
         )
@@ -168,17 +199,30 @@ class TidIntersect(PhysicalOperator):
     def run(self, database: Database,
             child_results: List[OperatorResult]) -> OperatorResult:
         left, right = child_results
-        left_tids = left.payload.positions(self.table)
-        right_tids = right.payload.positions(self.table)
-        tids = np.intersect1d(left_tids, right_tids, assume_unique=True)
+        left_sel = left.payload.selection(self.table)
+        right_sel = right.payload.selection(self.table)
+        if left_sel is not None and right_sel is not None and kernels.enabled():
+            kernels.stats["masked_intersects"] += 1
+            if left_sel.mask is None:
+                entry = right_sel
+            elif right_sel.mask is None:
+                entry = left_sel
+            else:
+                entry = SelectionVector(left_sel.mask & right_sel.mask)
+            n_out = len(entry)
+        else:
+            left_tids = left.payload.positions(self.table)
+            right_tids = right.payload.positions(self.table)
+            entry = np.intersect1d(left_tids, right_tids, assume_unique=True)
+            n_out = len(entry)
         nominal = scaled_nominal_rows(
-            len(tids),
+            n_out,
             max(left.actual_rows, 1),
             max(left.nominal_rows, right.nominal_rows),
         )
         return OperatorResult(
-            TidSet({self.table: tids}),
-            actual_rows=len(tids),
+            TidSet({self.table: entry}),
+            actual_rows=n_out,
             nominal_rows=nominal,
             row_width_bytes=TID_BYTES,
         )

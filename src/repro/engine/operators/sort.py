@@ -46,7 +46,14 @@ class Sort(PhysicalOperator):
         sort_arrays = []
         for name, ascending in reversed(self.keys):
             values = frame.column(name)
-            sort_arrays.append(values if ascending else -values.astype(np.float64))
+            if ascending:
+                sort_arrays.append(values)
+            elif values.dtype.kind in "iu":
+                # Exact integer negation: descending int64 keys beyond
+                # 2^53 must not collapse into float64 ties.
+                sort_arrays.append(-values.astype(np.int64))
+            else:
+                sort_arrays.append(-values.astype(np.float64))
         order = np.lexsort(sort_arrays) if sort_arrays else np.arange(len(frame))
         columns = {name: arr[order] for name, arr in frame.columns.items()}
         sorted_frame = ResultFrame(columns, frame.dictionaries)

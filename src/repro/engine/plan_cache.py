@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 from weakref import WeakKeyDictionary
 
+from repro.engine import caches
+
 #: database -> {fingerprint: (payload, actual_rows, nominal_rows, width)}
 _cache: "WeakKeyDictionary" = WeakKeyDictionary()
 _enabled = True
@@ -89,3 +91,6 @@ def cache_size(database=None) -> int:
     if database is not None:
         return len(_cache.get(database) or ())
     return sum(len(entries) for entries in _cache.values())
+
+
+caches.register("plan", invalidate, cache_size)

@@ -30,7 +30,7 @@ import functools
 import os
 from typing import Optional, Sequence, Tuple
 
-from repro.engine import plan_cache
+from repro.engine import caches, kernels, plan_cache  # noqa: F401
 from repro.hardware import SystemConfig
 from repro.hardware.calibration import COGADB_PROFILE, GIB, OCELOT_PROFILE
 from repro.harness.parallel import Cell, clear_workload_cache, run_cells
@@ -97,7 +97,9 @@ def clear_database_caches() -> None:
     ssb_database.cache_clear()
     tpch_database.cache_clear()
     clear_workload_cache()
-    plan_cache.invalidate()
+    # Registry-wide: plan cache, kernel cache (join indexes and zone
+    # maps), and anything registered later.
+    caches.invalidate_all()
 
 
 # ---------------------------------------------------------------------------

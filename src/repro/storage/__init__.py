@@ -17,6 +17,7 @@ package provides the storage substrate:
 
 from repro.storage.types import ColumnType
 from repro.storage.column import Column
+from repro.storage.blocks import ZoneMap, build_zone_map
 from repro.storage.table import Table
 from repro.storage.database import Database
 from repro.storage.statistics import AccessStatistics
@@ -27,6 +28,8 @@ __all__ = [
     "ColumnType",
     "Database",
     "Table",
+    "ZoneMap",
+    "build_zone_map",
 ]
 
 # repro.storage.compression is imported lazily by its users to keep the

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -46,6 +47,12 @@ class Column:
         #: set by repro.storage.compression: (codec name, measured
         #: compressed/uncompressed ratio); shrinks nominal_bytes
         self.compression = None
+        # Lazily built encode/decode accelerators over the (immutable)
+        # dictionary: string -> code map, bound-lookup memo, and an
+        # object-array view for vectorised decoding.
+        self._code_of: Optional[Dict[str, int]] = None
+        self._bound_cache: Optional[Dict] = None
+        self._dict_array: Optional[np.ndarray] = None
 
     # -- identity -----------------------------------------------------
 
@@ -95,8 +102,10 @@ class Column:
         codes = np.fromiter(
             (code_of[s] for s in strings), dtype=np.int32, count=len(strings)
         )
-        return cls(table, name, ColumnType.STRING, codes,
-                   nominal_rows=nominal_rows, dictionary=dictionary)
+        column = cls(table, name, ColumnType.STRING, codes,
+                     nominal_rows=nominal_rows, dictionary=dictionary)
+        column._code_of = code_of
+        return column
 
     def encode(self, string: str) -> int:
         """Dictionary code for ``string``.
@@ -106,32 +115,40 @@ class Column:
         """
         if self.dictionary is None:
             raise TypeError("{} is not a string column".format(self.key))
-        import bisect
+        code_of = self._code_of
+        if code_of is None:
+            code_of = {s: i for i, s in enumerate(self.dictionary)}
+            self._code_of = code_of
+        # Unknown strings map to -1: equality predicates select
+        # nothing, inequality everything.  Range predicates on unknown
+        # bounds go through encode_lower/upper_bound instead.
+        return code_of.get(string, -1)
 
-        index = bisect.bisect_left(self.dictionary, string)
-        if index < len(self.dictionary) and self.dictionary[index] == string:
-            return index
-        # Position in the sorted dictionary keeps range predicates on
-        # unknown bounds correct: codes < index are exactly the strings
-        # ordered before `string`.  Offset by -0.5 is impossible with
-        # ints, so callers use encode_bound for ranges.
-        return -1
+    def _bound(self, string: str, upper: bool) -> int:
+        cache = self._bound_cache
+        if cache is None:
+            cache = self._bound_cache = {}
+        key = (string, upper)
+        index = cache.get(key)
+        if index is None:
+            if upper:
+                index = bisect.bisect_right(self.dictionary, string) - 1
+            else:
+                index = bisect.bisect_left(self.dictionary, string)
+            cache[key] = index
+        return index
 
     def encode_lower_bound(self, string: str) -> int:
         """Smallest code whose string is >= ``string``."""
         if self.dictionary is None:
             raise TypeError("{} is not a string column".format(self.key))
-        import bisect
-
-        return bisect.bisect_left(self.dictionary, string)
+        return self._bound(string, upper=False)
 
     def encode_upper_bound(self, string: str) -> int:
         """Largest code whose string is <= ``string`` (may be -1)."""
         if self.dictionary is None:
             raise TypeError("{} is not a string column".format(self.key))
-        import bisect
-
-        return bisect.bisect_right(self.dictionary, string) - 1
+        return self._bound(string, upper=True)
 
     def decode(self, codes: Union[int, np.ndarray]):
         """Map dictionary codes back to strings."""
@@ -139,7 +156,14 @@ class Column:
             raise TypeError("{} is not a string column".format(self.key))
         if np.isscalar(codes):
             return self.dictionary[int(codes)]
-        return [self.dictionary[int(c)] for c in np.asarray(codes)]
+        lookup = self._dict_array
+        if lookup is None:
+            lookup = np.asarray(self.dictionary, dtype=object)
+            self._dict_array = lookup
+        index = np.asarray(codes)
+        if index.dtype.kind not in "iu":
+            index = index.astype(np.intp)
+        return list(lookup[index])
 
     # -- access ----------------------------------------------------------
 

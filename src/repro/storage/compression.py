@@ -84,7 +84,15 @@ class RunLengthCodec(Codec):
 
 
 class BitPackCodec(Codec):
-    """Fixed-width packing of (value - min)."""
+    """Fixed-width packing of (value - min) into 64-bit words.
+
+    The payload is ``(words, base, width)`` with values laid out
+    back-to-back over the bits of a uint64 array (little-endian within
+    each word, one zeroed spill word at the end so straddle reads never
+    bounds-check).  Encoding and decoding are pure word-level shift
+    arithmetic — no per-value bit matrix is ever materialised, so a
+    6M-row column packs without an n x width blowup.
+    """
 
     name = "bitpack"
 
@@ -97,23 +105,48 @@ class BitPackCodec(Codec):
 
     def encode(self, values: np.ndarray):
         if len(values) == 0:
-            return (np.empty(0, dtype=np.uint8), 0, 1)
+            return (np.empty(0, dtype=np.uint64), 0, 1)
         base = int(values.min())
         width = self._width_bits(values)
         offsets = (values.astype(np.int64) - base).astype(np.uint64)
-        bits = (
-            (offsets[:, None] >> np.arange(width, dtype=np.uint64)) & 1
-        ).astype(np.uint8)
-        packed = np.packbits(bits.reshape(-1))
-        return (packed, base, width)
+        n = len(offsets)
+        n_words = (n * width + 63) // 64 + 1  # +1 spill word
+        words = np.zeros(n_words, dtype=np.uint64)
+        if 64 % width == 0:
+            # Aligned widths: reshape into lanes and OR-reduce.
+            per_word = 64 // width
+            padded = np.zeros(
+                ((n + per_word - 1) // per_word) * per_word, dtype=np.uint64
+            )
+            padded[:n] = offsets
+            shifts = np.arange(per_word, dtype=np.uint64) * np.uint64(width)
+            lanes = padded.reshape(-1, per_word) << shifts
+            words[: len(lanes)] = np.bitwise_or.reduce(lanes, axis=1)
+        else:
+            positions = np.arange(n, dtype=np.uint64) * np.uint64(width)
+            word_idx = (positions >> np.uint64(6)).astype(np.int64)
+            bit_off = positions & np.uint64(63)
+            np.bitwise_or.at(words, word_idx, offsets << bit_off)
+            spills = np.flatnonzero(bit_off + np.uint64(width) > 64)
+            if len(spills):
+                high = offsets[spills] >> (np.uint64(64) - bit_off[spills])
+                np.bitwise_or.at(words, word_idx[spills] + 1, high)
+        return (words, base, width)
 
     def decode(self, payload, dtype, length: int) -> np.ndarray:
-        packed, base, width = payload
+        words, base, width = payload
         if length == 0:
             return np.empty(0, dtype=dtype)
-        bits = np.unpackbits(packed)[: length * width]
-        bits = bits.reshape(length, width).astype(np.uint64)
-        offsets = (bits << np.arange(width, dtype=np.uint64)).sum(axis=1)
+        positions = np.arange(length, dtype=np.uint64) * np.uint64(width)
+        word_idx = (positions >> np.uint64(6)).astype(np.int64)
+        bit_off = positions & np.uint64(63)
+        low = words[word_idx] >> bit_off
+        straddles = np.flatnonzero(bit_off + np.uint64(width) > 64)
+        if len(straddles):
+            shift = np.uint64(64) - bit_off[straddles]
+            low[straddles] |= words[word_idx[straddles] + 1] << shift
+        mask = np.uint64((1 << width) - 1)
+        offsets = low & mask
         return (offsets.astype(np.int64) + base).astype(dtype)
 
     def compressed_bytes(self, values: np.ndarray) -> int:
@@ -196,10 +229,12 @@ def compress_column(column: Column) -> ColumnCompression:
 def compress_database(database: Database) -> Dict[str, ColumnCompression]:
     """Compress every column; returns {column key: compression}."""
     # Compression rewrites column metadata in place: results memoised
-    # against the uncompressed database must not survive it.
-    from repro.engine import plan_cache
+    # against the uncompressed database must not survive it.  The
+    # imports force plan_cache/kernels to self-register before the
+    # registry-wide invalidation runs.
+    from repro.engine import caches, kernels, plan_cache  # noqa: F401
 
-    plan_cache.invalidate(database)
+    caches.invalidate_all(database)
     report = {}
     for column in database.columns():
         report[column.key] = compress_column(column)

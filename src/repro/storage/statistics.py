@@ -26,6 +26,18 @@ class AccessStatistics:
         self._tick += 1
         self._last_access[column_key] = float(self._tick if now is None else now)
 
+    def record_accesses(self, column_keys) -> None:
+        """Record one access per key (the executor hot path; identical
+        to calling :meth:`record_access` for each key in order)."""
+        counts = self._counts
+        last = self._last_access
+        tick = self._tick
+        for key in column_keys:
+            counts[key] += 1
+            tick += 1
+            last[key] = float(tick)
+        self._tick = tick
+
     def access_count(self, column_key: str) -> int:
         return self._counts[column_key]
 
