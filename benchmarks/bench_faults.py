@@ -1,0 +1,251 @@
+"""Chaos benchmark: graceful degradation under injected faults.
+
+Exercises the ``repro.faults`` subsystem end to end and gates the
+tentpole guarantees:
+
+* **zero overhead when disabled** — a run with ``faults=None`` and a
+  run with an all-zero fault spec produce byte-identical simulated
+  timings and result tables;
+* **determinism** — the same seed twice yields the identical fault
+  schedule digest AND identical query results;
+* **correctness under faults** — at every fault rate the query results
+  are byte-identical to the fault-free run and cross-checked against
+  the reference evaluator (``validate=True``);
+* **graceful degradation** — the ``chaos_sweep`` curve: makespan grows
+  with the fault rate but stays bounded by (about) the CPU-only floor,
+  and the circuit breakers actually cycle (open / half-open / close
+  transitions are recorded at the higher rates).
+
+The exit code is nonzero iff any gate fails.  Writes ``BENCH_PR3.json``.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_faults.py
+Or under pytest: PYTHONPATH=src python -m pytest benchmarks/bench_faults.py
+
+``REPRO_FAST=1`` shrinks the sweep (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.faults import FaultConfig  # noqa: E402
+from repro.hardware import SystemConfig  # noqa: E402
+from repro.hardware.calibration import GIB  # noqa: E402
+from repro.harness import experiments as E  # noqa: E402
+from repro.harness.runner import run_workload  # noqa: E402
+from repro.workloads import ssb  # noqa: E402
+
+FAST = os.environ.get("REPRO_FAST", "").strip() not in ("", "0")
+
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_PR3.json"
+)
+
+SIZES = {
+    "scale_factor": 5 if FAST else 10,
+    "users": 2,
+    "repetitions": 1 if FAST else 2,
+    "rates": (0.0, 0.02, 0.1) if FAST else
+             (0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2),
+    "identity_rates": (0.02, 0.1) if FAST else (0.01, 0.05, 0.2),
+}
+
+SEED = 7
+
+#: Degradation bound: faulted makespans must stay within this factor of
+#: the CPU-only floor.  Retries burn backoff and wasted work on top of
+#: the pure CPU path, so "about the floor" carries a small allowance.
+FLOOR_MARGIN = 1.25
+
+CONFIG = SystemConfig(gpu_memory_bytes=int(4 * GIB),
+                      gpu_cache_bytes=int(1.5 * GIB))
+
+
+def _run(faults, validate: bool = True):
+    """One SSB workload run; returns (WorkloadResult, results digest)."""
+    database = E.ssb_database(SIZES["scale_factor"])
+    run = run_workload(
+        database, ssb.workload(database), "runtime",
+        config=CONFIG, users=SIZES["users"],
+        repetitions=SIZES["repetitions"],
+        collect_results=True, validate=validate, faults=faults,
+    )
+    return run, _digest_results(run.results)
+
+
+def _digest_results(results) -> str:
+    payload = repr(sorted(
+        (name, tuple(table.row_tuples())) for name, table in results.items()
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Gate 1: zero overhead when injection is disabled
+# ---------------------------------------------------------------------------
+
+def gate_zero_overhead():
+    off_run, off_digest = _run(faults=None)
+    zero_run, zero_digest = _run(faults="pcie=0")  # parses to all-zero rates
+    identical = (off_run.seconds == zero_run.seconds
+                 and off_digest == zero_digest
+                 and zero_run.faults_injected == 0)
+    return {
+        "off_seconds": off_run.seconds,
+        "zero_rate_seconds": zero_run.seconds,
+        "results_identical": off_digest == zero_digest,
+        "identical": identical,
+    }, off_run.seconds, off_digest
+
+
+# ---------------------------------------------------------------------------
+# Gate 2: determinism — same seed, same schedule, same answers
+# ---------------------------------------------------------------------------
+
+def gate_determinism(rate: float):
+    spec = FaultConfig.uniform(rate, seed=SEED)
+    first, first_digest = _run(faults=spec)
+    second, second_digest = _run(faults=spec)
+    identical = (first.fault_digest == second.fault_digest
+                 and first.faults_injected == second.faults_injected
+                 and first.seconds == second.seconds
+                 and first_digest == second_digest)
+    return {
+        "rate": rate,
+        "faults_injected": first.faults_injected,
+        "schedule_digest": first.fault_digest,
+        "schedules_identical": first.fault_digest == second.fault_digest,
+        "timings_identical": first.seconds == second.seconds,
+        "results_identical": first_digest == second_digest,
+        "identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 3: results byte-identical to the fault-free run at every rate
+# ---------------------------------------------------------------------------
+
+def gate_result_identity(reference_digest: str):
+    rows = []
+    identical = True
+    for rate in SIZES["identity_rates"]:
+        run, digest = _run(faults=FaultConfig.uniform(rate, seed=SEED))
+        match = digest == reference_digest
+        identical = identical and match
+        rows.append({
+            "rate": rate,
+            "faults_injected": run.faults_injected,
+            "aborts": run.metrics.aborts,
+            "retries": run.metrics.retries,
+            "results_identical": match,
+        })
+    return {"rates": rows, "identical": identical}
+
+
+# ---------------------------------------------------------------------------
+# Gate 4: the degradation curve (chaos_sweep) stays bounded and the
+# breakers demonstrably cycle
+# ---------------------------------------------------------------------------
+
+def gate_degradation():
+    sweep = E.chaos_sweep(
+        fault_rates=SIZES["rates"],
+        scale_factor=SIZES["scale_factor"],
+        users=SIZES["users"],
+        repetitions=SIZES["repetitions"],
+        seed=SEED,
+    )
+    curve = [dict(row) for row in sweep.rows]
+    floor = next(row for row in curve if row["strategy"] == "cpu_only")
+    faulted = [row for row in curve if not math.isnan(row["fault_rate"])]
+    bound = floor["seconds"] * FLOOR_MARGIN
+    bounded = all(row["seconds"] <= bound for row in faulted)
+    worst = max(row["seconds"] for row in faulted)
+    top = max(faulted, key=lambda row: row["fault_rate"])
+    breakers_cycled = (top["breaker_opens"] > 0
+                       and top["breaker_half_opens"] > 0)
+    return {
+        "curve": curve,
+        "cpu_only_floor_seconds": floor["seconds"],
+        "floor_margin": FLOOR_MARGIN,
+        "worst_faulted_seconds": worst,
+        "worst_over_floor": worst / floor["seconds"],
+        "bounded_by_floor": bounded,
+        "breakers_cycled": breakers_cycled,
+        "identical": bounded and breakers_cycled,
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    print("fault-injection benchmark: SF {}, {} users{}".format(
+        SIZES["scale_factor"], SIZES["users"],
+        ", REPRO_FAST" if FAST else ""))
+    report = {
+        "benchmark": "fault_injection",
+        "fast_mode": FAST,
+        "seed": SEED,
+        "gates": {},
+    }
+
+    zero, _, reference_digest = gate_zero_overhead()
+    report["gates"]["zero_overhead"] = zero
+    print("zero overhead:   identical={identical} "
+          "({off_seconds:.4f}s off vs {zero_rate_seconds:.4f}s zero-rate)"
+          .format(**zero))
+
+    determinism = gate_determinism(rate=0.05)
+    report["gates"]["determinism"] = determinism
+    print("determinism:     identical={identical} "
+          "({faults_injected} faults, digest {schedule_digest:.12s}...)"
+          .format(**determinism))
+
+    identity = gate_result_identity(reference_digest)
+    report["gates"]["result_identity"] = identity
+    print("result identity: identical={} across rates {}".format(
+        identity["identical"],
+        tuple(row["rate"] for row in identity["rates"])))
+
+    degradation = gate_degradation()
+    report["gates"]["degradation"] = degradation
+    print("degradation:     bounded={bounded_by_floor} "
+          "(worst {worst_over_floor:.2f}x of cpu-only floor, "
+          "margin {floor_margin}), breakers_cycled={breakers_cycled}"
+          .format(**degradation))
+    for row in degradation["curve"]:
+        print("  rate {:>6} -> {:.4f}s  faults={} retries={} "
+              "opens={} half_opens={} closes={} skips={}".format(
+                  ("cpu" if math.isnan(row["fault_rate"])
+                   else "{:g}".format(row["fault_rate"])),
+                  row["seconds"], row["faults_injected"], row["retries"],
+                  row["breaker_opens"], row["breaker_half_opens"],
+                  row["breaker_closes"], row["breaker_skips"]))
+
+    report["all_gates_pass"] = all(
+        gate["identical"] for gate in report["gates"].values()
+    )
+    with open(OUTPUT, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote {}".format(os.path.normpath(OUTPUT)))
+    return 0 if report["all_gates_pass"] else 1
+
+
+def test_faults_degrade_gracefully():
+    """Pytest entry point: every chaos gate holds; the report is
+    written."""
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

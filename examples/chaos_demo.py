@@ -1,0 +1,68 @@
+"""Scenario: surviving a flaky co-processor (chaos demo).
+
+The same SSB query runs at three injected fault rates — none, moderate,
+hostile.  Transient PCIe/kernel/stall faults are retried with
+exponential backoff in simulated time; a device whose faults persist
+trips its circuit breaker and the query degrades gracefully to the CPU.
+The answer is byte-identical at every rate: faults cost time, never
+correctness.
+
+Run with:  python examples/chaos_demo.py
+"""
+
+from repro import SystemConfig, run_workload, ssb
+from repro.faults import FaultConfig
+from repro.hardware.calibration import GIB
+
+QUERY = "Q2.1"
+RATES = (0.0, 0.05, 0.3)
+
+
+def main():
+    database = ssb.generate(scale_factor=10, data_scale=1e-4)
+    queries = [q for q in ssb.workload(database) if q.name == QUERY]
+    config = SystemConfig(gpu_memory_bytes=4 * GIB,
+                          gpu_cache_bytes=int(1.5 * GIB))
+
+    print("SSB {} under injected co-processor faults (seed 7)\n".format(
+        QUERY))
+    print("  {:>6s} {:>9s} {:>7s} {:>8s} {:>14s} {:>6s} {:>9s}".format(
+        "rate", "seconds", "faults", "retries",
+        "breaker(o/h/c)", "skips", "identical"))
+
+    reference_rows = None
+    for rate in RATES:
+        faults = (FaultConfig.uniform(rate, seed=7,
+                                      breaker_threshold=2,
+                                      breaker_open_seconds=0.05)
+                  if rate > 0 else None)
+        run = run_workload(
+            database, queries, "runtime", config=config,
+            users=2, repetitions=4, collect_results=True, faults=faults,
+        )
+        rows = run.results[QUERY].row_tuples()
+        if reference_rows is None:
+            reference_rows = rows
+        transitions = run.metrics.breaker_transition_counts()
+        print("  {:>6g} {:>9.4f} {:>7d} {:>8d} {:>14s} {:>6d} {:>9s}".format(
+            rate, run.seconds, run.faults_injected, run.metrics.retries,
+            "{}/{}/{}".format(transitions.get("open", 0),
+                              transitions.get("half_open", 0),
+                              transitions.get("closed", 0)),
+            sum(run.metrics.breaker_skips.values()),
+            "yes" if rows == reference_rows else "NO",
+        ))
+        if rows != reference_rows:
+            raise SystemExit("result diverged at rate {}".format(rate))
+
+    print(
+        "\nReading: retries absorb isolated transient faults at a small\n"
+        "latency cost; sustained faults open the device's circuit\n"
+        "breaker (o/h/c = open/half-open/close transitions) and the\n"
+        "query falls back to the CPU until a recovery probe succeeds.\n"
+        "The result table is identical at every rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -81,6 +81,8 @@ FIGURE_DRIVERS = {
               {"repetitions": 1, "users": (1, 20)}),
     "multigpu": (E.multi_gpu_scaling, {"repetitions": 2},
                  {"repetitions": 1, "gpu_counts": (1, 4)}),
+    "chaos": (E.chaos_sweep, {"repetitions": 2},
+              {"repetitions": 1, "fault_rates": (0.0, 0.02, 0.1)}),
 }
 
 
@@ -112,6 +114,15 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def _resolve_faults(args):
+    """--faults beats $REPRO_FAULTS; empty/absent means no injection."""
+    from repro.faults import FaultConfig
+
+    if getattr(args, "faults", None):
+        return FaultConfig.parse(args.faults)
+    return FaultConfig.from_env()
+
+
 def cmd_run(args) -> int:
     database = _database(args.benchmark, args.scale_factor, args.data_scale)
     module = {"ssb": ssb, "tpch": tpch}[args.benchmark]
@@ -121,16 +132,29 @@ def cmd_run(args) -> int:
         gpu_memory_bytes=int(args.gpu_memory_gib * GIB),
         gpu_cache_bytes=int(args.gpu_cache_gib * GIB),
     )
+    faults = _resolve_faults(args)
     run = run_workload(
         database, queries, args.strategy, config=config,
         users=args.users, repetitions=args.repetitions,
         warm_cache=not args.cold, trace=args.trace,
+        faults=faults,
     )
     print("workload: {} SF {} x{} repetitions, {} users, strategy {}".format(
         args.benchmark, args.scale_factor, args.repetitions, args.users,
         args.strategy))
     for key, value in run.metrics.summary().items():
         print("  {:22s} {:.6g}".format(key, value))
+    if faults is not None and faults.enabled:
+        print("  fault injection (seed {}):".format(faults.seed))
+        print("    injected: {} ({})".format(
+            run.faults_injected,
+            ", ".join("{}={}".format(k, v)
+                      for k, v in sorted((run.fault_classes or {}).items()))
+            or "none",
+        ))
+        for key, value in run.metrics.fault_summary().items():
+            print("    {:20s} {:.6g}".format(key, value))
+        print("    schedule digest: {}".format(run.fault_digest))
     print("  per-query mean latencies:")
     for name, latency in run.metrics.latencies_by_query().items():
         print("    {:8s} {:.4f}s".format(name, latency))
@@ -145,7 +169,7 @@ def cmd_query(args) -> int:
     database = _database(args.benchmark, args.scale_factor, args.data_scale)
     queries = sql_workload(database, {"adhoc": args.sql})
     run = run_workload(database, queries, args.strategy,
-                       collect_results=True)
+                       collect_results=True, faults=_resolve_faults(args))
     payload = run.results["adhoc"]
     for row in payload.row_tuples()[: args.limit]:
         print(row)
@@ -221,12 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="start with a cold device cache")
     runner.add_argument("--trace", action="store_true",
                         help="print the operator timeline")
+    runner.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault injection, e.g. "
+                             "'pcie=0.01,kernel=0.005,seed=42' or a bare "
+                             "uniform rate '0.02' (default: $REPRO_FAULTS)")
     runner.set_defaults(func=cmd_run)
 
     query = sub.add_parser("query", help="run ad-hoc SQL")
     query.add_argument("sql")
     add_common(query)
     query.add_argument("--limit", type=int, default=20)
+    query.add_argument("--faults", default=None, metavar="SPEC",
+                       help="deterministic fault injection spec "
+                            "(default: $REPRO_FAULTS)")
     query.set_defaults(func=cmd_query)
 
     strategies = sub.add_parser("strategies",

@@ -37,6 +37,9 @@ def _eligible_device(ctx, op, child_locations: List[str]) -> Optional[str]:
         device.name
         for device in ctx.hardware.gpus
         if all(key in device.cache for key in required)
+        # a device with an open circuit breaker is off-limits even when
+        # it holds the data — the chain degrades to the CPU instead
+        and ctx.resilience.available(device.name, ctx.env.now)
     ]
     if not candidates:
         return None

@@ -31,8 +31,12 @@ class RuntimeHype(PlacementStrategy):
         for device in ctx.hardware.gpus:
             # Run-time placement sees the *current* device state
             # (Sec. 4): an operator whose footprint cannot fit right
-            # now would only abort — skip the device.
+            # now would only abort — skip the device.  A device whose
+            # circuit breaker is open (too many injected transient
+            # faults) would be skipped at execution anyway.
             if footprint > device.heap.available:
+                continue
+            if not ctx.resilience.available(device.name, ctx.env.now):
                 continue
             cost = self._estimated_cost(ctx, op, child_results, device.name,
                                         input_bytes, device)

@@ -12,10 +12,20 @@ from repro.engine.execution.functional import execute_functional
 from repro.engine.execution.context import ExecutionContext
 from repro.engine.execution.operator_task import execute_operator
 from repro.engine.execution.eager import run_plan_eager
+from repro.engine.execution.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    ResilienceManager,
+    RetryPolicy,
+)
 from repro.engine.execution.vectorized import VectorizedExecutor
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
     "ExecutionContext",
+    "ResilienceManager",
+    "RetryPolicy",
     "VectorizedExecutor",
     "execute_functional",
     "execute_operator",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.engine.execution.resilience import ResilienceManager
 from repro.hardware import HardwareSystem
 from repro.hype import LearnedCostModel, LoadTracker
 from repro.storage import Database
@@ -28,7 +29,14 @@ class ExecutionContext:
             if cost_model is not None
             else LearnedCostModel(hardware.profile)
         )
+        #: retry policy + per-device circuit breakers; inert (always
+        #: "go ahead") when the hardware has no fault injector
+        self.resilience = ResilienceManager(
+            config=getattr(hardware, "fault_config", None),
+            metrics=self.metrics,
+        )
         self.load = LoadTracker()
+        self.load.attach_resilience(self.resilience, clock=lambda: self.env.now)
         #: optional per-operator timeline (set to an ExecutionTrace to
         #: record one; see repro.metrics.trace)
         self.trace = None

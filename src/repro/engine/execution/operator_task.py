@@ -20,6 +20,14 @@ This implements the paper's fault-tolerant operator execution
 5. *Abort and restart.*  Any device allocation failure aborts the
    operator: wasted time (begin to abort) is recorded, device state is
    rolled back, and the operator restarts on the CPU.
+
+With fault injection active (:mod:`repro.faults`) an attempt can also
+die of a *transient* fault (PCIe error, kernel launch failure, stall,
+reset, heap-pressure spike).  Those are retried with exponential
+backoff in simulated time — bounded by the retry policy and gated by
+the device's circuit breaker — before the operator takes the same CPU
+fallback.  A genuine out-of-memory abort still falls back immediately:
+retrying a full heap is pointless (Sec. 2.5.1).
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from typing import Generator, List, Optional
 from repro.engine.execution.context import ExecutionContext
 from repro.engine.intermediates import OperatorResult
 from repro.engine.operators import PhysicalOperator
-from repro.hardware import DeviceOutOfMemory
+from repro.hardware import DeviceFault
 from repro.hardware.processor import ProcessorKind
 from repro.hype import choose_algorithm
 
@@ -55,8 +63,9 @@ def execute_operator(
     result: Optional[OperatorResult] = None
     if processor_name != "cpu" and not op.cpu_only:
         device = ctx.hardware.device(processor_name)
-        result = yield from _try_gpu(ctx, device, op, child_results,
-                                     input_bytes, admit_to_cache)
+        result = yield from _try_gpu_with_recovery(
+            ctx, device, op, child_results, input_bytes, admit_to_cache
+        )
     if result is None:
         result = yield from _run_cpu(ctx, op, child_results, input_bytes)
     for child in child_results:
@@ -64,15 +73,55 @@ def execute_operator(
     return result
 
 
+def _try_gpu_with_recovery(ctx, device, op, child_results, input_bytes,
+                           admit_to_cache):
+    """Device attempts under the retry policy and circuit breaker.
+
+    Returns the :class:`OperatorResult` on success, or None once the
+    operator must restart on the CPU — after a genuine out-of-memory
+    abort, after exhausting the transient-fault retry budget, or when
+    the device's breaker denies the attempt outright.
+    """
+    resilience = ctx.resilience
+    env = ctx.env
+    attempt = 0
+    while True:
+        if not resilience.admit(device.name, env.now):
+            ctx.metrics.record_breaker_skip(device.name)
+            return None
+        outcome = yield from _try_gpu(ctx, device, op, child_results,
+                                      input_bytes, admit_to_cache)
+        if not isinstance(outcome, DeviceFault):
+            # success, or a non-fault abort — either way the device
+            # itself behaved, so the breaker sees a success
+            resilience.record_success(device.name, env.now)
+            return outcome
+        if not outcome.transient:
+            # out of memory: the allocator answered as specified under
+            # contention — fall back immediately, breaker unaffected
+            resilience.record_success(device.name, env.now)
+            return None
+        resilience.record_failure(device.name, env.now)
+        if attempt >= resilience.policy.max_retries:
+            return None
+        ctx.metrics.record_retry(device=device.name,
+                                 fault=outcome.fault_class,
+                                 query=op.plan_name)
+        yield env.timeout(resilience.policy.backoff_seconds(attempt))
+        attempt += 1
+
+
 def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache):
-    """Co-processor attempt; returns None when the operator aborts.
+    """One co-processor attempt; returns the fault when it aborts.
 
     Device memory is allocated in several steps and held (the paper's
     operators cannot pre-compute a concise upper bound, Sec. 2.5.1):
     staged inputs first, then half the working memory, the second half
     mid-kernel, and finally the result buffer.  A failure at any later
     step wastes everything done so far — that is the *wasted time* the
-    paper measures.
+    paper measures.  Every abort rolls the device fully back (released
+    cache references, freed staging and working memory) before the
+    caller decides between a retry and the CPU fallback.
     """
     env = ctx.env
     cache = device.cache
@@ -90,11 +139,18 @@ def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache):
 
     def move(nbytes, direction):
         if streaming:
-            inflight.append(
-                env.process(ctx.bus.transfer(nbytes, direction))
+            transfer = env.process(
+                ctx.bus.transfer(nbytes, direction, device=device.name)
             )
+            # A background copy can fail via fault injection; the
+            # operator observes that when it joins the transfer tail.
+            # Pre-defuse so an abort on another path cannot leave an
+            # unwaited failure to crash the event loop.
+            transfer.defused = True
+            inflight.append(transfer)
         else:
-            yield from ctx.bus.transfer(nbytes, direction)
+            yield from ctx.bus.transfer(nbytes, direction,
+                                        device=device.name)
 
     try:
         # 1. Stage base columns.
@@ -179,12 +235,15 @@ def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache):
             ctx.trace.record(op.label, op.kind, device.name, op.plan_name,
                              start, env.now)
         return result
-    except DeviceOutOfMemory:
-        ctx.metrics.record_abort(env.now - start)
+    except DeviceFault as fault:
+        ctx.metrics.record_abort(env.now - start, query=op.plan_name,
+                                 device=fault.device or device.name,
+                                 fault=fault.fault_class)
         if ctx.trace is not None:
             ctx.trace.record(op.label, op.kind, device.name, op.plan_name,
-                             start, env.now, aborted=True)
-        return None
+                             start, env.now, aborted=True,
+                             fault=fault.fault_class)
+        return fault
     finally:
         for key in acquired:
             cache.release(key)

@@ -42,7 +42,7 @@ from repro.engine.operators import (
     RefineSelect,
     ScanSelect,
 )
-from repro.hardware import DeviceOutOfMemory
+from repro.hardware import DeviceFault
 from repro.hardware.processor import ProcessorKind
 from repro.sim import Process
 
@@ -155,8 +155,12 @@ class VectorizedExecutor:
         """Device placement for a whole pipeline (None = CPU)."""
         ctx = self.ctx
         required = pipeline.required_columns()
+        candidates = [
+            device for device in ctx.hardware.gpus
+            if ctx.resilience.available(device.name, ctx.env.now)
+        ]
         if self.strategy.uses_data_placement:
-            for device in ctx.hardware.gpus:
+            for device in candidates:
                 if all(key in device.cache for key in required):
                     return device.name
             return None
@@ -167,7 +171,7 @@ class VectorizedExecutor:
         cpu_cost = compute[ProcessorKind.CPU]
         best: Optional[str] = None
         best_cost = cpu_cost
-        for device in ctx.hardware.gpus:
+        for device in candidates:
             stream_bytes, compute = self._io_and_compute(
                 pipeline, results, device.name
             )
@@ -257,7 +261,44 @@ class VectorizedExecutor:
                         results: Dict[int, OperatorResult],
                         result: OperatorResult,
                         device_name: str, start: float) -> Generator:
-        """Run the pipeline on a device; None when the breaker aborts."""
+        """Run the pipeline on a device; None once it must go to CPU.
+
+        Transient injected faults are retried with backoff under the
+        device's circuit breaker; a genuine out-of-memory abort falls
+        back immediately, as in the operator-at-a-time engine.
+        """
+        ctx = self.ctx
+        env = ctx.env
+        resilience = ctx.resilience
+        attempt = 0
+        while True:
+            if not resilience.admit(device_name, env.now):
+                ctx.metrics.record_breaker_skip(device_name)
+                return None
+            outcome = yield from self._attempt_device_once(
+                pipeline, results, result, device_name, start
+            )
+            if not isinstance(outcome, DeviceFault):
+                resilience.record_success(device_name, env.now)
+                return outcome
+            if not outcome.transient:
+                resilience.record_success(device_name, env.now)
+                return None
+            resilience.record_failure(device_name, env.now)
+            if attempt >= resilience.policy.max_retries:
+                return None
+            ctx.metrics.record_retry(
+                device=device_name, fault=outcome.fault_class,
+                query=pipeline.terminal.plan_name,
+            )
+            yield env.timeout(resilience.policy.backoff_seconds(attempt))
+            attempt += 1
+
+    def _attempt_device_once(self, pipeline: Pipeline,
+                             results: Dict[int, OperatorResult],
+                             result: OperatorResult,
+                             device_name: str, start: float) -> Generator:
+        """One device attempt; returns the fault when it aborts."""
         ctx = self.ctx
         env = ctx.env
         device = ctx.hardware.device(device_name)
@@ -275,32 +316,48 @@ class VectorizedExecutor:
             cpu_rate = 1.0 / cpu_seconds if cpu_seconds > 0 else 0.0
             split = cpu_rate / (cpu_rate + gpu_rate)
 
+        breaker = None
+        transfers = None
         try:
             # the breaker's materialised output (or hash table) is the
             # pipeline's only heap demand — vectors themselves stream
             breaker = device.heap.allocate(result.nominal_bytes,
                                            owner=pipeline.terminal.label)
-        except DeviceOutOfMemory:
-            ctx.metrics.record_abort(env.now - start)
-            return None
-
-        transfers = None
-        if stream_bytes:
-            transfers = env.process(
-                ctx.bus.transfer(int(stream_bytes * (1 - split)), "h2d")
+            if stream_bytes:
+                transfers = env.process(
+                    ctx.bus.transfer(int(stream_bytes * (1 - split)),
+                                     "h2d", device=device_name)
+                )
+                # joined below; pre-defuse so a fault on the compute
+                # path cannot leave an unwaited transfer failure
+                transfers.defused = True
+            gpu_done = device.processor.submit(gpu_seconds * (1 - split))
+            cpu_done = ctx.hardware.cpu.submit(cpu_seconds * split)
+            yield env.all_of([gpu_done, cpu_done])
+            if transfers is not None:
+                yield transfers
+            ctx.metrics.record_operator(device.processor.name,
+                                        gpu_seconds * (1 - split))
+            if split > 0:
+                ctx.metrics.record_operator("cpu", cpu_seconds * split)
+            result.allocation = breaker
+            result.location = device_name
+            return result
+        except DeviceFault as fault:
+            if breaker is not None:
+                breaker.free()
+            ctx.metrics.record_abort(
+                env.now - start, query=pipeline.terminal.plan_name,
+                device=fault.device or device_name,
+                fault=fault.fault_class,
             )
-        gpu_done = device.processor.submit(gpu_seconds * (1 - split))
-        cpu_done = ctx.hardware.cpu.submit(cpu_seconds * split)
-        yield env.all_of([gpu_done, cpu_done])
-        if transfers is not None:
-            yield transfers
-        ctx.metrics.record_operator(device.processor.name,
-                                    gpu_seconds * (1 - split))
-        if split > 0:
-            ctx.metrics.record_operator("cpu", cpu_seconds * split)
-        result.allocation = breaker
-        result.location = device_name
-        return result
+            if ctx.trace is not None:
+                ctx.trace.record(
+                    pipeline.terminal.label, pipeline.terminal.kind,
+                    device_name, pipeline.terminal.plan_name,
+                    start, env.now, aborted=True, fault=fault.fault_class,
+                )
+            return fault
 
     def _run_on_cpu(self, pipeline: Pipeline,
                     results: Dict[int, OperatorResult],

@@ -1,0 +1,278 @@
+"""Deterministic, seed-driven fault injection.
+
+The paper's whole point is *robust* query processing, yet the only
+fault the seed simulation models is :class:`DeviceOutOfMemory`.  Real
+co-processor stacks also see transient PCIe transfer errors, kernel
+launch failures, driver stalls, and full device resets; systems like
+Theseus treat surviving them via degraded execution as a first-class
+design goal.  Measuring that requires a *deterministic* way to inject
+faults — this module provides it.
+
+Design:
+
+* :class:`FaultConfig` — per-fault-class rates plus the retry/breaker
+  tuning the resilience layer uses.  Parsed from the CLI ``--faults``
+  flag or the ``REPRO_FAULTS`` environment variable
+  (``"pcie=0.01,kernel=0.005,seed=42"``; a bare number applies one
+  uniform rate to every class).
+* :class:`FaultInjector` — one per workload run, holding an independent
+  seeded RNG stream *per fault class*.  Each injection site in the
+  hardware layer (:mod:`repro.hardware.bus`, ``processor``, ``memory``)
+  rolls its class's stream; because the DES executes events in a fixed
+  deterministic order, the same seed always produces the same fault
+  schedule.  The injector keeps an order-sensitive digest of every
+  injected fault so two runs can be compared exactly.
+
+Zero-overhead guarantee: when no injector is installed (the default)
+every hook is a single ``is None`` check, and simulated timings and
+results are byte-identical to a build without the subsystem.  Faults
+may cost time, never correctness: the functional result of every
+operator is produced by the same numpy implementations regardless of
+how many attempts the simulation needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+from collections import Counter
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, Optional, Union
+
+#: Fault classes the injector can raise, in the (fixed) order their
+#: rate fields appear on :class:`FaultConfig`.
+FAULT_CLASSES = ("pcie", "kernel", "stall", "heap", "reset")
+
+#: Environment variable consulted when the CLI gives no ``--faults``.
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Injection rates and resilience tuning for one workload run.
+
+    Rates are per *injection opportunity* (one PCIe transfer, one
+    kernel submission, one heap allocation), not per second, so a rate
+    of 0.01 means roughly one fault per hundred hardware interactions.
+    """
+
+    #: transient PCIe transfer corruption (per transfer on a GPU path)
+    pcie: float = 0.0
+    #: spurious kernel launch failure (per device submission)
+    kernel: float = 0.0
+    #: driver stall killed by the watchdog (per device submission)
+    stall: float = 0.0
+    #: spurious heap-pressure spike (per device heap allocation)
+    heap: float = 0.0
+    #: forced device reset flushing the column cache (per submission)
+    reset: float = 0.0
+    #: RNG seed; the full fault schedule is a pure function of
+    #: (seed, rates, workload)
+    seed: int = 7
+    #: simulated watchdog interval a stalled kernel burns before failing
+    stall_seconds: float = 0.05
+    #: transient-fault retries per operator attempt before CPU fallback
+    max_retries: int = 3
+    #: exponential backoff: base * multiplier**attempt simulated seconds
+    backoff_base_seconds: float = 0.002
+    backoff_multiplier: float = 2.0
+    #: consecutive transient failures that open a device's breaker
+    breaker_threshold: int = 3
+    #: simulated seconds an open breaker waits before half-opening
+    breaker_open_seconds: float = 0.25
+    #: concurrent recovery probes admitted while half-open
+    breaker_probes: int = 1
+
+    def __post_init__(self):
+        for name in FAULT_CLASSES:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    "fault rate {}={} outside [0, 1]".format(name, rate)
+                )
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be >= 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_seconds < 0 or self.backoff_multiplier < 1.0:
+            raise ValueError("backoff must be non-negative and growing")
+        if self.breaker_threshold < 1 or self.breaker_probes < 1:
+            raise ValueError("breaker threshold and probes must be >= 1")
+        if self.breaker_open_seconds < 0:
+            raise ValueError("breaker_open_seconds must be >= 0")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def uniform(cls, rate: float, **overrides) -> "FaultConfig":
+        """One rate applied to every injectable fault class."""
+        values = {name: rate for name in FAULT_CLASSES}
+        values.update(overrides)
+        return cls(**values)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultConfig":
+        """Parse a ``--faults`` / ``REPRO_FAULTS`` spec string.
+
+        ``"pcie=0.01,kernel=0.005,seed=42"`` sets individual knobs (any
+        :class:`FaultConfig` field name is accepted); a bare number
+        (``"0.02"``) applies one uniform rate to every fault class.
+        """
+        spec = spec.strip()
+        if not spec:
+            raise ValueError("empty fault spec")
+        valid = {f.name: f.type for f in fields(cls)}
+        int_fields = {"seed", "max_retries", "breaker_threshold",
+                      "breaker_probes"}
+        values: Dict[str, Union[int, float]] = {}
+        uniform_rate: Optional[float] = None
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                try:
+                    uniform_rate = float(part)
+                except ValueError:
+                    raise ValueError(
+                        "fault spec entry {!r} is neither a rate nor "
+                        "key=value".format(part)
+                    )
+                continue
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key not in valid:
+                raise ValueError(
+                    "unknown fault spec key {!r}; expected one of {}".format(
+                        key, ", ".join(sorted(valid))
+                    )
+                )
+            try:
+                values[key] = (int(raw) if key in int_fields
+                               else float(raw))
+            except ValueError:
+                raise ValueError(
+                    "fault spec {}={!r} is not a number".format(key, raw)
+                )
+        if uniform_rate is not None:
+            for name in FAULT_CLASSES:
+                values.setdefault(name, uniform_rate)
+        return cls(**values)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultConfig"]:
+        """Config from ``$REPRO_FAULTS`` (None when unset/empty)."""
+        raw = os.environ.get(FAULTS_ENV, "").strip()
+        if not raw:
+            return None
+        return cls.parse(raw)
+
+    @classmethod
+    def coerce(cls, value) -> Optional["FaultConfig"]:
+        """Accept None, a spec string, or a ready config."""
+        if value is None:
+            return None
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        raise TypeError(
+            "faults must be None, a spec string, or a FaultConfig; "
+            "got {!r}".format(type(value).__name__)
+        )
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault class has a nonzero rate."""
+        return any(getattr(self, name) > 0.0 for name in FAULT_CLASSES)
+
+    def rates(self) -> Dict[str, float]:
+        """Per-class injection rates (for reporting)."""
+        return {name: getattr(self, name) for name in FAULT_CLASSES}
+
+    def with_seed(self, seed: int) -> "FaultConfig":
+        return replace(self, seed=int(seed))
+
+
+class FaultInjector:
+    """Rolls the dice for every hardware injection site.
+
+    One stream per fault class (seeded from ``(seed, class)``) keeps
+    the schedule of one class independent of the others' rates: raising
+    the PCIe rate does not shift which kernel launches fail.  The DES
+    processes events in a deterministic order, so every stream is
+    consumed identically across runs with the same seed and workload —
+    the determinism gate in CI asserts this by comparing
+    :meth:`schedule_digest` across two runs.
+    """
+
+    def __init__(self, config: FaultConfig,
+                 clock: Optional[Callable[[], float]] = None):
+        self.config = config
+        self._clock = clock
+        self._streams: Dict[str, random.Random] = {
+            name: random.Random("{}:{}".format(config.seed, name))
+            for name in FAULT_CLASSES
+        }
+        #: injected fault counts per class and per (class, device)
+        self.injected: Counter = Counter()
+        self.injected_by_device: Counter = Counter()
+        self._digest = hashlib.sha256()
+
+    # -- the injection sites call these ---------------------------------
+
+    def roll(self, fault_class: str, device: str) -> bool:
+        """One injection opportunity; True means *inject now*.
+
+        A successful roll is recorded (counter + order-sensitive
+        digest) before the hardware raises, so the schedule is
+        observable even when a fault is swallowed by a retry.
+        """
+        rate = getattr(self.config, fault_class)
+        if rate <= 0.0:
+            return False
+        if self._streams[fault_class].random() >= rate:
+            return False
+        self.injected[fault_class] += 1
+        self.injected_by_device[(fault_class, device)] += 1
+        now = self._clock() if self._clock is not None else 0.0
+        self._digest.update(
+            "{}:{}:{:.9f};".format(fault_class, device, now).encode()
+        )
+        return True
+
+    def fraction(self, fault_class: str) -> float:
+        """Deterministic [0, 1) draw from the class stream.
+
+        Used for partial-progress sizing (e.g. how far a PCIe transfer
+        got before it failed).  Only consumed after a successful
+        :meth:`roll`, so it never shifts the schedule of runs that do
+        not inject.
+        """
+        return self._streams[fault_class].random()
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def schedule_digest(self) -> str:
+        """Order-sensitive fingerprint of every injected fault
+        (class, device, simulated time) — the determinism gate."""
+        return self._digest.hexdigest()
+
+    def summary(self) -> Dict[str, int]:
+        """Injected fault counts per class (zero classes omitted)."""
+        return {name: count for name, count in sorted(self.injected.items())}
+
+
+__all__ = [
+    "FAULT_CLASSES",
+    "FAULTS_ENV",
+    "FaultConfig",
+    "FaultInjector",
+]

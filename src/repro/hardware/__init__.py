@@ -14,7 +14,17 @@ inside the DES kernel:
   on a :class:`SystemConfig` mirroring the paper's platform.
 """
 
-from repro.hardware.errors import DeviceOutOfMemory
+from repro.hardware.errors import (
+    DeviceFault,
+    DeviceOutOfMemory,
+    DeviceReset,
+    DeviceStall,
+    HeapPressureFault,
+    INJECTABLE_FAULTS,
+    KernelLaunchFault,
+    PCIeTransferFault,
+    TransientDeviceFault,
+)
 from repro.hardware.memory import Allocation, DeviceHeap
 from repro.hardware.cache import CacheEntry, DeviceCache
 from repro.hardware.bus import PCIeBus
@@ -32,15 +42,22 @@ __all__ = [
     "CacheEntry",
     "COGADB_PROFILE",
     "DeviceCache",
+    "DeviceFault",
     "DeviceHeap",
     "DeviceOutOfMemory",
+    "DeviceReset",
+    "DeviceStall",
     "EngineProfile",
     "GpuDevice",
     "HardwareSystem",
+    "HeapPressureFault",
+    "INJECTABLE_FAULTS",
+    "KernelLaunchFault",
     "OCELOT_PROFILE",
     "OperatorCosts",
     "PCIeBus",
     "Processor",
     "ProcessorKind",
     "SystemConfig",
+    "TransientDeviceFault",
 ]

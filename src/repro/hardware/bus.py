@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.hardware.errors import PCIeTransferFault
 from repro.metrics import MetricsCollector
 from repro.sim import Environment, Resource
 
@@ -37,19 +38,30 @@ class PCIeBus:
         self.bandwidth = float(bandwidth_bytes_per_second)
         self.latency = float(latency_seconds)
         self.metrics = metrics
+        #: fault injector (installed by HardwareSystem.install_faults);
+        #: None means no injection and zero overhead
+        self.injector = None
         self._channel = Resource(env, capacity=1)
 
     def transfer_time(self, nbytes: int) -> float:
         """Pure wire time for ``nbytes`` (excluding queueing)."""
         return self.latency + nbytes / self.bandwidth
 
-    def transfer(self, nbytes: int, direction: str) -> Generator:
+    def transfer(self, nbytes: int, direction: str,
+                 device: Optional[str] = None) -> Generator:
         """DES process: move ``nbytes`` across the bus.
 
         ``direction`` is ``"h2d"`` (host to device) or ``"d2h"``.
         Yields until the bus is free and the wire time has elapsed.
         Only the wire time (not the queueing delay) is charged to the
         metrics, matching how the paper reports copy times.
+
+        ``device`` names the co-processor endpoint for fault
+        attribution; transfers that name one are injection sites for
+        transient :class:`PCIeTransferFault`s (the failing copy burns a
+        deterministic fraction of its wire time before raising).  The
+        CPU fallback path never passes a device, so the guaranteed
+        CPU-only floor stays fault-free.
         """
         if nbytes < 0:
             raise ValueError("cannot transfer a negative volume")
@@ -57,10 +69,16 @@ class PCIeBus:
             raise ValueError("unknown transfer direction {!r}".format(direction))
         if nbytes == 0:
             return
+        injector = self.injector
         request = self._channel.request()
         yield request
         try:
             wire_time = self.transfer_time(nbytes)
+            if (injector is not None and device is not None
+                    and injector.roll("pcie", device)):
+                # Partial progress: the copy dies part-way down the wire.
+                yield self.env.timeout(wire_time * injector.fraction("pcie"))
+                raise PCIeTransferFault(nbytes, direction, device=device)
             yield self.env.timeout(wire_time)
             if self.metrics is not None:
                 self.metrics.record_transfer(direction, nbytes, wire_time)

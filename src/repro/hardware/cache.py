@@ -65,6 +65,9 @@ class DeviceCache:
         self.metrics = metrics
         self._clock = clock if clock is not None else (lambda: 0.0)
         self._entries: Dict[Hashable, CacheEntry] = {}
+        #: entries invalidated by a device reset while still referenced
+        #: by running operators; evicted on their final release
+        self._doomed: set = set()
         self.used = 0
 
     # -- queries ------------------------------------------------------
@@ -117,6 +120,10 @@ class DeviceCache:
         if entry.refcount <= 0:
             raise RuntimeError("release() without matching acquire()")
         entry.refcount -= 1
+        if entry.refcount == 0 and key in self._doomed:
+            # Deferred invalidation from a device reset: the last
+            # reader is done, drop the entry now.
+            self.evict(key)
 
     # -- admission and eviction ---------------------------------------
 
@@ -146,6 +153,7 @@ class DeviceCache:
     def evict(self, key: Hashable) -> None:
         """Remove a column from the cache."""
         entry = self._entries.pop(key)
+        self._doomed.discard(key)
         self.used -= entry.nbytes
         if self.metrics is not None:
             self.metrics.record_cache_eviction()
@@ -154,6 +162,21 @@ class DeviceCache:
         """Drop every entry regardless of pins (used between experiments)."""
         for key in list(self._entries):
             self.evict(key)
+
+    def reset(self) -> None:
+        """Flush the cache after an injected device reset.
+
+        Unreferenced entries drop immediately.  Entries still read by
+        running operators are *doomed* instead and evicted on their
+        final :meth:`release` — memory is never yanked from under a
+        running kernel (the paper's latching discussion), but nothing
+        survives the reset.
+        """
+        for key in list(self._entries):
+            if self._entries[key].refcount == 0:
+                self.evict(key)
+            else:
+                self._doomed.add(key)
 
     def pin(self, key: Hashable) -> None:
         self._entries[key].pinned = True

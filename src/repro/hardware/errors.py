@@ -1,19 +1,156 @@
-"""Hardware fault types."""
+"""Hardware fault types.
+
+The paper's only modeled fault is a failed device heap allocation
+(Sec. 2.5.1): the operator aborts, its wasted time is recorded, and the
+executor restarts it on the CPU.  Real co-processor stacks see a wider
+taxonomy — transient PCIe transfer errors, kernel launch failures,
+driver stalls, and full device resets — which the fault-injection
+subsystem (:mod:`repro.faults`) raises through the hierarchy below.
+
+Every fault carries the ``device`` it occurred on (``None`` when the
+raising component cannot attribute it) and a class-level contract:
+
+* ``transient`` — a retry of the same attempt may succeed (PCIe hiccup,
+  kernel launch failure, driver stall, spurious heap-pressure spike,
+  device reset).  The executors retry these with exponential backoff in
+  simulated time before falling back to the CPU, and they feed the
+  per-device circuit breakers.
+* non-transient (``DeviceOutOfMemory``) — permanent *for this attempt*:
+  the heap genuinely cannot fit the footprint right now, so retrying
+  immediately would fail again; the operator falls back to the CPU at
+  once, exactly the paper's abort-and-restart path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
 
 
-class DeviceOutOfMemory(Exception):
+class DeviceFault(Exception):
+    """Base class for every simulated hardware fault."""
+
+    #: short machine-readable class used for metrics and injection rates
+    fault_class = "fault"
+    #: whether a retry of the same attempt may succeed
+    transient = False
+
+    def __init__(self, message: str, device: Optional[str] = None):
+        if device is not None:
+            message = "[{}] {}".format(device, message)
+        super().__init__(message)
+        self.device = device
+
+
+class DeviceOutOfMemory(DeviceFault):
     """A device heap allocation failed.
 
     This is the fault the paper's fault-tolerance machinery reacts to:
     the operator aborts, its wasted time is recorded, and the executor
-    restarts it on the CPU (Sec. 2.5.1).
+    restarts it on the CPU (Sec. 2.5.1).  It is *permanent for this
+    attempt* — the heap is genuinely full — so it is never retried and
+    never trips a circuit breaker.
     """
 
-    def __init__(self, requested: int, available: int):
+    fault_class = "oom"
+    transient = False
+
+    def __init__(self, requested: int, available: int,
+                 device: Optional[str] = None):
         super().__init__(
             "device allocation of {} bytes failed ({} bytes free)".format(
                 requested, available
-            )
+            ),
+            device=device,
         )
         self.requested = requested
         self.available = available
+
+
+class TransientDeviceFault(DeviceFault):
+    """Base class for faults a retry may survive."""
+
+    fault_class = "transient"
+    transient = True
+
+
+class PCIeTransferFault(TransientDeviceFault):
+    """A host/device copy was corrupted or dropped mid-flight."""
+
+    fault_class = "pcie"
+
+    def __init__(self, nbytes: int, direction: str,
+                 device: Optional[str] = None):
+        super().__init__(
+            "PCIe {} transfer of {} bytes failed".format(direction, nbytes),
+            device=device,
+        )
+        self.nbytes = nbytes
+        self.direction = direction
+
+
+class KernelLaunchFault(TransientDeviceFault):
+    """The driver rejected a kernel launch (spurious launch failure)."""
+
+    fault_class = "kernel"
+
+    def __init__(self, device: Optional[str] = None):
+        super().__init__("kernel launch failed", device=device)
+
+
+class DeviceStall(TransientDeviceFault):
+    """The device hung; the watchdog killed the kernel after a delay.
+
+    Unlike a launch failure, a stall *costs simulated time* before it
+    surfaces: the submitting operator blocks for the watchdog interval
+    and only then observes the fault.
+    """
+
+    fault_class = "stall"
+
+    def __init__(self, seconds: float, device: Optional[str] = None):
+        super().__init__(
+            "device stalled; watchdog fired after {:.4f}s".format(seconds),
+            device=device,
+        )
+        self.seconds = seconds
+
+
+class HeapPressureFault(TransientDeviceFault):
+    """A spurious heap-pressure spike failed an allocation that would
+    normally fit (fragmentation burst, driver-internal reservation)."""
+
+    fault_class = "heap"
+
+    def __init__(self, requested: int, available: int,
+                 device: Optional[str] = None):
+        super().__init__(
+            "spurious heap pressure failed a {} byte allocation "
+            "({} bytes nominally free)".format(requested, available),
+            device=device,
+        )
+        self.requested = requested
+        self.available = available
+
+
+class DeviceReset(TransientDeviceFault):
+    """The driver reset the device, flushing its column cache.
+
+    The submitting operator aborts; the device itself comes back
+    immediately (a retry may succeed) but with a cold cache.
+    """
+
+    fault_class = "reset"
+
+    def __init__(self, device: Optional[str] = None):
+        super().__init__("device reset; column cache flushed", device=device)
+
+
+#: Every fault class a :class:`~repro.faults.FaultInjector` can raise,
+#: keyed by its rate attribute on :class:`~repro.faults.FaultConfig`.
+INJECTABLE_FAULTS = {
+    PCIeTransferFault.fault_class: PCIeTransferFault,
+    KernelLaunchFault.fault_class: KernelLaunchFault,
+    DeviceStall.fault_class: DeviceStall,
+    HeapPressureFault.fault_class: HeapPressureFault,
+    DeviceReset.fault_class: DeviceReset,
+}

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
-from repro.hardware.errors import DeviceOutOfMemory
+from repro.hardware.errors import DeviceOutOfMemory, HeapPressureFault
 from repro.metrics import MetricsCollector
 
 
@@ -49,12 +49,18 @@ class DeviceHeap:
     """
 
     def __init__(self, capacity_bytes: int,
-                 metrics: Optional[MetricsCollector] = None):
+                 metrics: Optional[MetricsCollector] = None,
+                 name: Optional[str] = None):
         if capacity_bytes < 0:
             raise ValueError("heap capacity must be >= 0")
         self.capacity = int(capacity_bytes)
         self.used = 0
         self.metrics = metrics
+        #: owning device name, used for fault attribution
+        self.name = name
+        #: fault injector (installed by HardwareSystem.install_faults);
+        #: None means no injection and zero overhead
+        self.injector = None
         self._live: Set[Allocation] = set()
 
     @property
@@ -68,11 +74,22 @@ class DeviceHeap:
         return len(self._live)
 
     def allocate(self, nbytes: int, owner: str = "?") -> Allocation:
-        """Allocate ``nbytes``; raises :class:`DeviceOutOfMemory` on failure."""
+        """Allocate ``nbytes``; raises :class:`DeviceOutOfMemory` on failure.
+
+        With a fault injector installed, each nonzero allocation may
+        instead fail with a transient :class:`HeapPressureFault` — a
+        spurious pressure spike that a retry can survive, unlike a
+        genuine out-of-memory condition.
+        """
         if nbytes < 0:
             raise ValueError("cannot allocate a negative size")
+        if (self.injector is not None and nbytes > 0
+                and self.injector.roll("heap", self.name or "?")):
+            raise HeapPressureFault(requested=nbytes, available=self.available,
+                                    device=self.name)
         if nbytes > self.available:
-            raise DeviceOutOfMemory(requested=nbytes, available=self.available)
+            raise DeviceOutOfMemory(requested=nbytes, available=self.available,
+                                    device=self.name)
         allocation = Allocation(nbytes, owner, self)
         self.used += nbytes
         self._live.add(allocation)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Generator, Optional
 
+from repro.hardware.errors import DeviceReset, DeviceStall, KernelLaunchFault
 from repro.metrics import MetricsCollector
 from repro.sim import Environment, Event
 
@@ -58,6 +59,14 @@ class Processor:
         self.name = name
         self.kind = kind
         self.metrics = metrics
+        #: fault injector (installed by HardwareSystem.install_faults);
+        #: None means no injection and zero overhead.  Only co-processor
+        #: submissions are injection sites — CPU work never faults, so
+        #: the CPU-only floor is always reachable.
+        self.injector = None
+        #: called when an injected DeviceReset fires (wired to the
+        #: device's column-cache flush by HardwareSystem)
+        self.on_reset = None
         self._jobs: Dict[int, _Job] = {}
         self._next_job_id = 0
         self._last_update = env.now
@@ -79,9 +88,37 @@ class Processor:
 
     def submit(self, seconds: float) -> Event:
         """Submit ``seconds`` of full-device work; the returned event
-        fires when the work completes under fair sharing."""
+        fires when the work completes under fair sharing.
+
+        When a fault injector is installed and this is a co-processor,
+        each nonzero submission is an injection site:
+
+        * ``reset`` — the driver resets the device (flushing its column
+          cache via ``on_reset``) and the launch fails immediately;
+        * ``kernel`` — the launch is rejected immediately;
+        * ``stall`` — the kernel hangs and the returned event *fails*
+          with :class:`DeviceStall` after the watchdog interval, so the
+          submitting operator pays real simulated time before it can
+          react.
+        """
         if seconds < 0:
             raise ValueError("negative execution time")
+        injector = self.injector
+        if (injector is not None and seconds > 0
+                and self.kind is ProcessorKind.GPU):
+            if injector.roll("reset", self.name):
+                if self.on_reset is not None:
+                    self.on_reset()
+                raise DeviceReset(device=self.name)
+            if injector.roll("kernel", self.name):
+                raise KernelLaunchFault(device=self.name)
+            if injector.roll("stall", self.name):
+                stall = injector.config.stall_seconds
+                event = Event(self.env)
+                fault = DeviceStall(stall, device=self.name)
+                timer = self.env.timeout(stall)
+                timer.callbacks.append(lambda _evt: event.fail(fault))
+                return event
         self._advance()
         event = Event(self.env)
         if seconds == 0:

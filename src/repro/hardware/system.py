@@ -115,7 +115,7 @@ class HardwareSystem:
                     processor=Processor(env, name, ProcessorKind.GPU,
                                         metrics=self.metrics),
                     heap=DeviceHeap(self.config.gpu_heap_bytes,
-                                    metrics=self.metrics),
+                                    metrics=self.metrics, name=name),
                     cache=DeviceCache(
                         self.config.gpu_cache_bytes,
                         policy=self.config.gpu_cache_policy,
@@ -125,6 +125,27 @@ class HardwareSystem:
                 )
             )
         self.profile = self.config.profile
+        #: fault injector shared by every device (None = faults off)
+        self.injector = None
+
+    # -- fault injection ------------------------------------------------
+
+    def install_faults(self, injector) -> None:
+        """Hook a :class:`~repro.faults.FaultInjector` into every
+        injection site: the PCIe bus, each co-processor's submission
+        path, and each device heap.  Injected device resets flush the
+        owning device's column cache."""
+        self.injector = injector
+        self.bus.injector = injector
+        for gpu_device in self.gpus:
+            gpu_device.processor.injector = injector
+            gpu_device.processor.on_reset = gpu_device.cache.reset
+            gpu_device.heap.injector = injector
+
+    @property
+    def fault_config(self):
+        """The active :class:`~repro.faults.FaultConfig`, or None."""
+        return self.injector.config if self.injector is not None else None
 
     # -- first-device aliases (single-GPU code paths) ------------------
 

@@ -743,3 +743,86 @@ def figure24(
             h2d_seconds=outcome.h2d_seconds,
         )
     return result
+
+
+# ---------------------------------------------------------------------------
+# Chaos — graceful degradation under injected faults
+# ---------------------------------------------------------------------------
+
+def chaos_sweep(
+    fault_rates: Sequence[float] = (0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2),
+    strategy: str = "runtime",
+    scale_factor: float = 10,
+    users: int = 2,
+    repetitions: int = 2,
+    seed: int = 7,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
+    """Degradation curve: SSB makespan vs. injected fault rate.
+
+    Every faulted cell runs with ``validate=True`` — the correctness
+    gate of the tentpole: faults cost time, never answers.  The final
+    row is the CPU-only configuration, the asymptote a co-processor
+    system degrades towards as its devices become unusable; graceful
+    degradation means the faulted makespans stay bounded by (about)
+    that floor instead of diverging or crashing.
+    """
+    from repro.faults import FaultConfig
+
+    fault_rates = _grid(fault_rates)
+    repetitions = _reps(repetitions)
+    cells = [
+        Cell(
+            workload="ssb", scale_factor=scale_factor, strategy=strategy,
+            config=FULL_CONFIG, users=users, repetitions=repetitions,
+            faults=(FaultConfig.uniform(rate, seed=seed) if rate > 0
+                    else None),
+            validate=True,
+        )
+        for rate in fault_rates
+    ]
+    # the CPU-only floor: the latency bound a degraded system approaches
+    cells.append(
+        Cell(
+            workload="ssb", scale_factor=scale_factor, strategy="cpu_only",
+            config=FULL_CONFIG, users=users, repetitions=repetitions,
+            validate=True,
+        )
+    )
+    result = ExperimentResult(
+        "Chaos: SSB under injected faults ({}, SF {})".format(
+            strategy, scale_factor
+        ),
+        notes="results validated at every rate; cpu_only row is the "
+              "degradation asymptote",
+    )
+    outcomes = run_cells(cells, jobs)
+    for rate, outcome in zip(fault_rates, outcomes[:-1]):
+        result.add(
+            strategy=strategy,
+            fault_rate=rate,
+            seconds=outcome.seconds,
+            faults_injected=outcome.faults_injected,
+            retries=outcome.retries,
+            aborts=outcome.aborts,
+            breaker_opens=outcome.breaker_opens,
+            breaker_half_opens=outcome.breaker_half_opens,
+            breaker_closes=outcome.breaker_closes,
+            breaker_skips=outcome.breaker_skips,
+            wasted_seconds=outcome.wasted_seconds,
+        )
+    floor = outcomes[-1]
+    result.add(
+        strategy="cpu_only",
+        fault_rate=float("nan"),
+        seconds=floor.seconds,
+        faults_injected=0,
+        retries=0,
+        aborts=floor.aborts,
+        breaker_opens=0,
+        breaker_half_opens=0,
+        breaker_closes=0,
+        breaker_skips=0,
+        wasted_seconds=floor.wasted_seconds,
+    )
+    return result

@@ -96,6 +96,11 @@ class Cell:
     query_names: Optional[Tuple[str, ...]] = None
     #: "run" executes the workload; "footprint" only sizes it
     measure: str = "run"
+    #: deterministic fault injection: a FaultConfig (frozen, picklable)
+    #: or a spec string; None runs fault-free
+    faults: Optional[object] = None
+    #: cross-check query results against the reference evaluator
+    validate: bool = False
 
     def __post_init__(self):
         if self.workload not in WORKLOADS:
@@ -126,6 +131,14 @@ class CellOutcome:
     footprint_bytes: int = 0
     #: wall-clock phase breakdown of the producing run
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: fault-injection accounting (all zero / None for fault-free cells)
+    faults_injected: int = 0
+    fault_digest: Optional[str] = None
+    retries: int = 0
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    breaker_skips: int = 0
 
     def mean_latency(self, query_name: str) -> float:
         return self.latencies.get(query_name, 0.0)
@@ -179,8 +192,11 @@ def execute_cell(cell: Cell) -> CellOutcome:
         repetitions=cell.repetitions,
         warm_cache=cell.warm_cache,
         placement_policy=cell.placement_policy,
+        faults=cell.faults,
+        validate=cell.validate,
     )
     metrics = run.metrics
+    transitions = metrics.breaker_transition_counts()
     return CellOutcome(
         seconds=metrics.workload_seconds,
         h2d_seconds=metrics.cpu_to_gpu_seconds,
@@ -194,6 +210,13 @@ def execute_cell(cell: Cell) -> CellOutcome:
         operators_per_processor=dict(metrics.operators_per_processor),
         footprint_bytes=footprint,
         phase_seconds=dict(metrics.phase_seconds),
+        faults_injected=run.faults_injected,
+        fault_digest=run.fault_digest,
+        retries=metrics.retries,
+        breaker_opens=transitions.get("open", 0),
+        breaker_half_opens=transitions.get("half_open", 0),
+        breaker_closes=transitions.get("closed", 0),
+        breaker_skips=sum(metrics.breaker_skips.values()),
     )
 
 

@@ -39,6 +39,13 @@ class WorkloadResult:
     users: int
     #: per-operator timeline; populated when run with ``trace=True``
     trace: Optional["ExecutionTrace"] = None
+    #: total faults the injector raised (0 when injection was off)
+    faults_injected: int = 0
+    #: order-sensitive sha256 of the run's fault schedule, or None when
+    #: injection was off — the CI determinism gate compares these
+    fault_digest: Optional[str] = None
+    #: injected fault counts per class
+    fault_classes: Optional[Dict[str, int]] = None
 
     @property
     def seconds(self) -> float:
@@ -62,6 +69,7 @@ def run_workload(
     trace: bool = False,
     validate: bool = False,
     algorithm_selection: bool = True,
+    faults=None,
 ) -> WorkloadResult:
     """Execute ``queries`` x ``repetitions`` with ``users`` parallel
     sessions under the named placement strategy.
@@ -72,14 +80,26 @@ def run_workload(
     With ``validate=True`` every SQL query's simulated result is
     cross-checked against the naive reference evaluator after the run;
     a mismatch raises :class:`ValidationError`.
+
+    ``faults`` activates deterministic fault injection: a
+    :class:`~repro.faults.FaultConfig`, a spec string
+    (``"pcie=0.01,seed=42"`` — see :meth:`FaultConfig.parse`), or None
+    (the default, no injection and zero overhead).
     """
+    from repro.faults import FaultConfig, FaultInjector
+
     if users < 1 or repetitions < 1:
         raise ValueError("users and repetitions must be >= 1")
     config = config if config is not None else SystemConfig()
+    fault_config = FaultConfig.coerce(faults)
     env = Environment()
     metrics = MetricsCollector()
     hardware = HardwareSystem(env, config, metrics)
     hardware.gpu_cache.policy = placement_policy
+    injector = None
+    if fault_config is not None and fault_config.enabled:
+        injector = FaultInjector(fault_config, clock=lambda: env.now)
+        hardware.install_faults(injector)
     ctx = ExecutionContext(hardware, database)
     ctx.algorithm_selection = algorithm_selection
     if trace:
@@ -183,6 +203,9 @@ def run_workload(
     return WorkloadResult(
         metrics=metrics, results=results, strategy=strategy, users=users,
         trace=ctx.trace,
+        faults_injected=injector.total_injected if injector else 0,
+        fault_digest=injector.schedule_digest() if injector else None,
+        fault_classes=dict(injector.injected) if injector else None,
     )
 
 

@@ -13,10 +13,23 @@ from typing import Dict
 
 
 class LoadTracker:
-    """Outstanding estimated work per processor."""
+    """Outstanding estimated work per processor.
+
+    With a resilience manager attached (fault injection active), the
+    estimated completion of a device whose circuit breaker is open is
+    infinite — cost-based placement then routes around the flaky device
+    without every strategy needing breaker-specific code.
+    """
 
     def __init__(self):
         self._outstanding: Dict[str, float] = {}
+        self._resilience = None
+        self._clock = None
+
+    def attach_resilience(self, resilience, clock) -> None:
+        """Penalise devices with open breakers in the load estimates."""
+        self._resilience = resilience
+        self._clock = clock
 
     def assign(self, processor_name: str, estimated_seconds: float) -> None:
         """An operator was queued on ``processor_name``."""
@@ -31,7 +44,12 @@ class LoadTracker:
 
     def estimated_completion(self, processor_name: str) -> float:
         """Estimated seconds until the ready queue drains."""
-        return self._outstanding.get(processor_name, 0.0)
+        outstanding = self._outstanding.get(processor_name, 0.0)
+        if self._resilience is not None and self._resilience.enabled:
+            outstanding += self._resilience.placement_penalty(
+                processor_name, self._clock()
+            )
+        return outstanding
 
     def reset(self) -> None:
         self._outstanding.clear()

@@ -8,24 +8,38 @@ records everything Figures 1–25 need:
 * operator abort counts and the *wasted time* metric (Sec. 6.2.2:
   time from operator begin to abort, accumulated),
 * per-processor operator execution counts and busy time,
-* peak device heap usage and cache hit statistics.
+* peak device heap usage and cache hit statistics,
+* fault-injection accounting: observed faults per class, retries,
+  circuit-breaker transitions, and per-query abort attribution.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
 class QueryRecord:
-    """Latency record for one executed query."""
+    """Latency record for one executed query.
+
+    Abort/retry attribution is keyed by query *name* at recording time,
+    so when several in-flight queries share a name the counts land on
+    whichever finishes next — exact for distinct names, name-level
+    approximate under self-concurrency.
+    """
 
     name: str
     user: int
     start: float
     end: float
+    #: co-processor aborts attributed to this query
+    aborts: int = 0
+    #: accumulated begin-to-abort time attributed to this query
+    wasted_seconds: float = 0.0
+    #: transient-fault retries attributed to this query
+    retries: int = 0
 
     @property
     def latency(self) -> float:
@@ -58,8 +72,26 @@ class MetricsCollector:
     busy_seconds: Dict[str, float] = field(default_factory=dict)
     #: peak bytes allocated on the device heap
     peak_heap_bytes: int = 0
+    #: observed fault aborts per fault class ("oom", "pcie", ...)
+    faults: Counter = field(default_factory=Counter)
+    #: observed fault aborts per (fault class, device)
+    faults_per_device: Counter = field(default_factory=Counter)
+    #: transient-fault retries (total and per device)
+    retries: int = 0
+    retries_per_device: Counter = field(default_factory=Counter)
+    #: circuit-breaker transitions: (device, old_state, new_state, time)
+    breaker_transitions: List[Tuple[str, str, str, float]] = field(
+        default_factory=list
+    )
+    #: operator attempts denied because a device's breaker was open
+    breaker_skips: Counter = field(default_factory=Counter)
     #: per-query latency records
     queries: List[QueryRecord] = field(default_factory=list)
+    #: abort/wasted/retry totals per query name not yet attributed to a
+    #: finished QueryRecord (drained by record_query)
+    _pending_aborts: Counter = field(default_factory=Counter, repr=False)
+    _pending_wasted: Dict[str, float] = field(default_factory=dict, repr=False)
+    _pending_retries: Counter = field(default_factory=Counter, repr=False)
     #: makespan of the run (set by the harness)
     workload_seconds: float = 0.0
     #: *wall-clock* seconds per harness phase (plan / des / numpy /
@@ -81,10 +113,47 @@ class MetricsCollector:
         else:
             raise ValueError("unknown transfer direction {!r}".format(direction))
 
-    def record_abort(self, wasted_seconds: float) -> None:
-        """Record a co-processor operator abort and its wasted time."""
+    def record_abort(self, wasted_seconds: float,
+                     query: Optional[str] = None,
+                     device: Optional[str] = None,
+                     fault: Optional[str] = None) -> None:
+        """Record a co-processor operator abort and its wasted time.
+
+        ``query``/``device``/``fault`` (the fault class, e.g. ``"oom"``
+        or ``"pcie"``) attribute the abort for the per-query and
+        per-fault-class reports; legacy call sites passing only the
+        wasted time keep recording the global totals.
+        """
         self.aborts += 1
         self.wasted_seconds += wasted_seconds
+        if fault is not None:
+            self.faults[fault] += 1
+            if device is not None:
+                self.faults_per_device[(fault, device)] += 1
+        if query is not None:
+            self._pending_aborts[query] += 1
+            self._pending_wasted[query] = (
+                self._pending_wasted.get(query, 0.0) + wasted_seconds
+            )
+
+    def record_retry(self, device: Optional[str] = None,
+                     fault: Optional[str] = None,
+                     query: Optional[str] = None) -> None:
+        """Record one transient-fault retry of a device attempt."""
+        self.retries += 1
+        if device is not None:
+            self.retries_per_device[device] += 1
+        if query is not None:
+            self._pending_retries[query] += 1
+
+    def record_breaker_transition(self, device: str, old_state: str,
+                                  new_state: str, now: float) -> None:
+        """Record a circuit-breaker state change on ``device``."""
+        self.breaker_transitions.append((device, old_state, new_state, now))
+
+    def record_breaker_skip(self, device: str) -> None:
+        """Record an attempt denied because the device's breaker was open."""
+        self.breaker_skips[device] += 1
 
     def record_cache_hit(self) -> None:
         self.cache_hits += 1
@@ -111,7 +180,14 @@ class MetricsCollector:
             self.peak_heap_bytes = used_bytes
 
     def record_query(self, name: str, user: int, start: float, end: float) -> None:
-        self.queries.append(QueryRecord(name=name, user=user, start=start, end=end))
+        """Record one finished query, draining the abort/retry totals
+        attributed to its name since the previous record."""
+        self.queries.append(QueryRecord(
+            name=name, user=user, start=start, end=end,
+            aborts=self._pending_aborts.pop(name, 0),
+            wasted_seconds=self._pending_wasted.pop(name, 0.0),
+            retries=self._pending_retries.pop(name, 0),
+        ))
 
     def record_phase(self, phase: str, wall_seconds: float) -> None:
         """Accumulate wall-clock time into one harness phase bucket."""
@@ -190,6 +266,41 @@ class MetricsCollector:
             "cache_hit_rate": self.cache_hit_rate,
             "peak_heap_gib": self.peak_heap_bytes / float(1 << 30),
         }
+
+    def breaker_transition_counts(self) -> Dict[str, int]:
+        """Breaker transitions by target state (open / half_open / closed)."""
+        counts: Counter = Counter()
+        for _device, _old, new_state, _now in self.breaker_transitions:
+            counts[new_state] += 1
+        return dict(counts)
+
+    def fault_summary(self) -> Dict[str, float]:
+        """Fault/resilience view: observed fault aborts per class plus
+        retry and breaker totals (all zero when injection is off)."""
+        summary: Dict[str, float] = {
+            "fault_aborts": float(sum(self.faults.values())),
+            "retries": float(self.retries),
+            "breaker_skips": float(sum(self.breaker_skips.values())),
+        }
+        for fault_class, count in sorted(self.faults.items()):
+            summary["fault_{}".format(fault_class)] = float(count)
+        for state, count in sorted(self.breaker_transition_counts().items()):
+            summary["breaker_to_{}".format(state)] = float(count)
+        return summary
+
+    def per_query_fault_report(self) -> Dict[str, Dict[str, float]]:
+        """Aborts, wasted time, and retries aggregated per query name."""
+        report: Dict[str, Dict[str, float]] = {}
+        for record in self.queries:
+            entry = report.setdefault(record.name, {
+                "executions": 0.0, "aborts": 0.0,
+                "wasted_seconds": 0.0, "retries": 0.0,
+            })
+            entry["executions"] += 1
+            entry["aborts"] += record.aborts
+            entry["wasted_seconds"] += record.wasted_seconds
+            entry["retries"] += record.retries
+        return report
 
     def phase_report(self) -> Dict[str, float]:
         """Wall-clock phase breakdown, with a computed total."""

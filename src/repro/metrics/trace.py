@@ -17,7 +17,13 @@ from typing import Dict, List, Optional
 
 @dataclass
 class TraceEvent:
-    """One operator execution (or abort attempt)."""
+    """One operator execution (or abort attempt).
+
+    Aborted attempts carry the fault class that killed them ("oom",
+    "pcie", "kernel", "stall", "heap", "reset"), and ``processor``
+    names the device the attempt ran on — so a trace shows *which*
+    device failed and why.
+    """
 
     label: str
     kind: str
@@ -26,6 +32,7 @@ class TraceEvent:
     start: float
     end: float
     aborted: bool = False
+    fault: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -39,9 +46,11 @@ class ExecutionTrace:
     events: List[TraceEvent] = field(default_factory=list)
 
     def record(self, label: str, kind: str, processor: str, query: str,
-               start: float, end: float, aborted: bool = False) -> None:
+               start: float, end: float, aborted: bool = False,
+               fault: Optional[str] = None) -> None:
         self.events.append(
-            TraceEvent(label, kind, processor, query, start, end, aborted)
+            TraceEvent(label, kind, processor, query, start, end, aborted,
+                       fault)
         )
 
     def __len__(self) -> int:
@@ -82,6 +91,17 @@ class ExecutionTrace:
             lines.append(
                 "  {} aborted attempts, {:.4f}s wasted".format(
                     len(aborted), wasted
+                )
+            )
+            by_fault: Dict[str, int] = {}
+            for event in aborted:
+                key = "{}@{}".format(event.fault or "?", event.processor)
+                by_fault[key] = by_fault.get(key, 0) + 1
+            lines.append(
+                "  aborts by fault@device: "
+                + ", ".join(
+                    "{}={}".format(key, count)
+                    for key, count in sorted(by_fault.items())
                 )
             )
         slowest = sorted(self.events, key=lambda e: -e.duration)[:5]

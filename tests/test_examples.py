@@ -48,6 +48,15 @@ def test_compression_breakdown():
     assert "compressed" in result.stdout
 
 
+def test_chaos_demo():
+    result = run_example("chaos_demo.py")
+    assert result.returncode == 0, result.stderr
+    assert "injected co-processor faults" in result.stdout
+    assert "breaker" in result.stdout
+    # every rate's result table matched the fault-free run
+    assert "NO" not in result.stdout
+
+
 def test_reproduce_paper_selected_figure():
     result = run_example("reproduce_paper.py", "--fast", "fig16")
     assert result.returncode == 0, result.stderr
