@@ -1,0 +1,129 @@
+"""Performance-trajectory table across all committed benchmark reports.
+
+Every perf-focused PR leaves a ``BENCH_PRn.json`` at the repository
+root.  This script aggregates them into one printed table — benchmark
+name, smoke/full mode, pass/fail verdict, and the headline speedup
+figures found in each report — so a single CI step shows the perf
+trajectory of the whole stack at a glance.
+
+The exit code is nonzero iff any report's own gate verdict is false.
+
+Run:  python benchmarks/trajectory.py [root]
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+import sys
+
+#: per-report verdict keys, in the order the reports introduced them
+VERDICT_KEYS = ("all_gates_pass", "all_identical", "tables_identical")
+
+
+def _pr_number(path: str) -> int:
+    match = re.search(r"BENCH_PR(\d+)\.json$", os.path.basename(path))
+    return int(match.group(1)) if match else 1 << 30
+
+
+def _verdict(report: dict):
+    """(verdict bool or None, key used) for one report."""
+    for key in VERDICT_KEYS:
+        if key in report:
+            return bool(report[key]), key
+    return None, ""
+
+
+def _speedups(node, path=""):
+    """Recursively collect ``(dotted.path, value)`` for speedup keys."""
+    found = []
+    if isinstance(node, dict):
+        for key in sorted(node):
+            where = "{}.{}".format(path, key) if path else key
+            value = node[key]
+            if ("speedup" in key and "required" not in key
+                    and isinstance(value, (int, float))):
+                found.append((where, float(value)))
+            else:
+                found.extend(_speedups(value, where))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            found.extend(_speedups(value, "{}[{}]".format(path, index)))
+    return found
+
+
+def collect(root: str):
+    """Rows for every BENCH_PR*.json under ``root`` (PR order)."""
+    rows = []
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_PR*.json")),
+                       key=_pr_number):
+        with open(path) as handle:
+            report = json.load(handle)
+        verdict, verdict_key = _verdict(report)
+        rows.append({
+            "file": os.path.basename(path),
+            "benchmark": str(report.get("benchmark", "?")),
+            "mode": "smoke" if report.get("fast_mode") else "full",
+            "verdict": verdict,
+            "verdict_key": verdict_key,
+            "speedups": _speedups(report),
+        })
+    return rows
+
+
+def render(rows) -> str:
+    header = ("report", "benchmark", "mode", "gates", "headline speedups")
+    table = [header]
+    for row in rows:
+        verdict = ("pass" if row["verdict"]
+                   else "FAIL" if row["verdict"] is not None else "n/a")
+        headline = ", ".join(
+            "{}={:.3g}x".format(where.split(".")[-1] if "." in where
+                                else where, value)
+            for where, value in row["speedups"][:4]
+        ) or "-"
+        table.append((row["file"], row["benchmark"], row["mode"],
+                      verdict, headline))
+    widths = [max(len(line[i]) for line in table)
+              for i in range(len(header))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(
+            cell.ljust(width) for cell, width in zip(line, widths)
+        ).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = argv[0] if argv else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), ".."
+    )
+    rows = collect(root)
+    if not rows:
+        print("no BENCH_PR*.json reports under {}".format(
+            os.path.normpath(root)))
+        return 1
+    print("performance trajectory ({} reports)".format(len(rows)))
+    print()
+    print(render(rows))
+    failed = [row["file"] for row in rows if row["verdict"] is False]
+    if failed:
+        print()
+        print("gate failures: {}".format(", ".join(failed)))
+        return 1
+    return 0
+
+
+def test_trajectory_reports_pass():
+    """Pytest entry point: every committed benchmark report's own gate
+    verdict holds."""
+    assert main([]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

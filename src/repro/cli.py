@@ -83,6 +83,8 @@ FIGURE_DRIVERS = {
                  {"repetitions": 1, "gpu_counts": (1, 4)}),
     "chaos": (E.chaos_sweep, {"repetitions": 2},
               {"repetitions": 1, "fault_rates": (0.0, 0.02, 0.1)}),
+    "overlap": (E.overlap_sweep, {"repetitions": 2},
+                {"repetitions": 1, "users": (1, 4), "scale_factor": 5}),
 }
 
 
@@ -131,6 +133,7 @@ def cmd_run(args) -> int:
         gpu_count=args.gpus,
         gpu_memory_bytes=int(args.gpu_memory_gib * GIB),
         gpu_cache_bytes=int(args.gpu_cache_gib * GIB),
+        copy_engine=args.copy_engine,
     )
     faults = _resolve_faults(args)
     run = run_workload(
@@ -243,6 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--gpu-cache-gib", type=float, default=1.5)
     runner.add_argument("--cold", action="store_true",
                         help="start with a cold device cache")
+    runner.add_argument("--copy-engine", action="store_true",
+                        help="asynchronous copy engine: per-device duplex "
+                             "DMA channels, coalescing, and prefetch "
+                             "(default: serialized single-channel bus)")
     runner.add_argument("--trace", action="store_true",
                         help="print the operator timeline")
     runner.add_argument("--faults", default=None, metavar="SPEC",

@@ -9,7 +9,7 @@
   operator stream, per-processor ready queues, and worker pools.
 """
 
-from repro.core.data_placement import DataPlacementManager
+from repro.core.data_placement import DataPlacementManager, PlacementPrefetcher
 from repro.core.chopping import ChoppingExecutor
 from repro.core.placement import (
     STRATEGY_NAMES,
@@ -20,6 +20,7 @@ from repro.core.placement import (
 __all__ = [
     "ChoppingExecutor",
     "DataPlacementManager",
+    "PlacementPrefetcher",
     "PlacementStrategy",
     "STRATEGY_NAMES",
     "get_strategy",

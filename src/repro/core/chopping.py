@@ -133,7 +133,9 @@ class ChoppingExecutor:
             parent = task.parent
             if parent is None:
                 if result.location != "cpu":
-                    yield from ctx.bus.transfer(result.nominal_bytes, "d2h")
+                    yield from ctx.hardware.host_transfer(
+                        result.nominal_bytes, "d2h", device=result.location
+                    )
                     result.release_device_memory()
                     result.location = "cpu"
                 task.root_event.succeed(result)

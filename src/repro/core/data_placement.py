@@ -9,15 +9,22 @@ thrashing cannot occur.
 
 Both the LFU strategy (default) and the LRU variant of Appendix E are
 supported.  With several co-processors (Sec. 6.3) the manager
-partitions the hot set across the devices, most-frequent column to the
-emptiest device — the horizontal scale-out the paper sketches.
+partitions the hot set across the devices: small (dimension) columns
+replicate everywhere, large (fact) columns first-fit in rank order so
+the hottest set clusters like the single-device prefix — the
+horizontal scale-out the paper sketches.
+
+:class:`PlacementPrefetcher` turns the same ranking into *background*
+traffic: with the asynchronous copy engine on, it fills idle h2d
+windows with the next-ranked hot columns, yielding the channel to
+demand copies at chunk boundaries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Sequence
+from typing import Dict, Generator, List, Optional, Sequence, Set
 
-from repro.hardware import DeviceCache
+from repro.hardware import DeviceCache, PCIeTransferFault
 from repro.storage import Database
 
 
@@ -149,3 +156,92 @@ class DataPlacementManager:
         while True:
             yield bus.env.timeout(interval_seconds)
             yield from self.place(bus)
+
+
+class PlacementPrefetcher:
+    """Fills idle h2d windows with the next-ranked hot columns.
+
+    One background DES process per device watches that device's
+    host-to-device channel.  Whenever the channel drains to idle, the
+    process pulls up to ``depth`` columns from the placement manager's
+    ranking (Algorithm 1's partition for this device) that are not yet
+    cached, moving each with the engine's *preemptible* pump — a demand
+    copy arriving mid-prefetch takes the channel at the next chunk
+    boundary, so foreground queries never wait for more than one chunk
+    of background traffic.
+
+    Prefetched columns are admitted to the cache unpinned, so they age
+    out under the cache's own policy if the ranking was wrong; a column
+    that no longer fits, or whose copy faults, is skipped for the rest
+    of the run rather than retried in a loop.
+    """
+
+    def __init__(self, hardware, placement: DataPlacementManager,
+                 depth: int = 2):
+        if hardware.copy_engine is None:
+            raise ValueError("the prefetcher needs the copy engine")
+        if depth < 1:
+            raise ValueError("prefetch depth must be >= 1")
+        self.hardware = hardware
+        self.placement = placement
+        self.depth = depth
+        self.engine = hardware.copy_engine
+        self._skip: Dict[str, Set[str]] = {}
+
+    def start(self) -> None:
+        """Spawn one prefetch process per co-processor."""
+        env = self.hardware.env
+        for index, device in enumerate(self.hardware.gpus):
+            if index >= len(self.placement.caches):
+                break
+            env.process(self._run(index, device))
+
+    def _run(self, index: int, device) -> Generator:
+        channel = self.engine.channel(device.name, "h2d")
+        while True:
+            yield from self._fill_window(index, device, channel)
+            # sleep until the next drain-to-idle transition: every
+            # completed copy may have changed what is worth fetching
+            yield channel.wait_idle()
+
+    def _fill_window(self, index: int, device, channel) -> Generator:
+        fetched = 0
+        for key, nbytes in self._candidates(index, device):
+            if fetched >= self.depth or channel.busy:
+                break
+            if nbytes > device.cache.available:
+                continue
+            try:
+                yield from self.engine.transfer(
+                    nbytes, "h2d", device=device.name, key=key,
+                    prefetch=True,
+                )
+            except PCIeTransferFault:
+                self._skip.setdefault(device.name, set()).add(key)
+                continue
+            # demand traffic may have filled the cache while the copy
+            # was on the wire; a failed admit stays failed, so give up
+            # on the key instead of re-copying it on every idle window
+            if (nbytes <= device.cache.available
+                    and device.cache.admit(key, nbytes)):
+                self.engine.mark_prefetched(device.name, key)
+                if self.hardware.metrics is not None:
+                    self.hardware.metrics.record_prefetch(nbytes)
+                fetched += 1
+            else:
+                self._skip.setdefault(device.name, set()).add(key)
+
+    def _candidates(self, index: int, device):
+        """(key, nbytes) pairs worth prefetching, hottest first."""
+        skip = self._skip.get(device.name, ())
+        engine = self.engine
+        for key in self.placement.partition()[index]:
+            if key in device.cache or key in skip:
+                continue
+            if engine.in_flight(device.name, "h2d", key):
+                continue
+            try:
+                column = self.placement.database.column(key)
+            except KeyError:
+                continue
+            yield key, column.nominal_bytes

@@ -62,7 +62,9 @@ def run_plan_eager(ctx: ExecutionContext, plan: PhysicalPlan,
     def root_process() -> Generator:
         result = yield processes[plan.root.op_id]
         if result.location != "cpu":
-            yield from ctx.bus.transfer(result.nominal_bytes, "d2h")
+            yield from ctx.hardware.host_transfer(
+                result.nominal_bytes, "d2h", device=result.location
+            )
             result.release_device_memory()
             result.location = "cpu"
         return result

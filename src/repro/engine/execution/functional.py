@@ -22,5 +22,7 @@ def execute_functional(plan: PhysicalPlan, database: Database) -> OperatorResult
     for op in plan.operators:  # post order: children first
         child_results = [results[c.op_id] for c in op.children]
         results[op.op_id] = op.produce(database, child_results)
-        statistics.record_accesses(op.required_columns())
+        # required_columns() is a set: sort so recency ticks (and the
+        # LFU tie-break order downstream) are hash-seed independent
+        statistics.record_accesses(sorted(op.required_columns()))
     return results[plan.root.op_id]

@@ -127,27 +127,36 @@ def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache):
     cache = device.cache
     heap = device.heap
     gpu = device.processor
-    streaming = ctx.hardware.config.streaming_transfers
+    engine = ctx.hardware.copy_engine
+    #: the copy engine always overlaps staging copies with the kernel
+    #: (that is what its channels are for); without it, the
+    #: streaming_transfers flag opts into the same shape on the
+    #: serialized bus (Sec. 5.5)
+    streaming = ctx.hardware.config.streaming_transfers or engine is not None
     start = env.now
     staged = []
     acquired = []
     working = []
-    #: with streaming transfers (Sec. 5.5) copies run as background
-    #: processes overlapping the kernel; the operator completes once
-    #: both its compute and its transfers have finished
+    #: with streaming transfers copies run as background processes
+    #: overlapping the kernel; the operator completes once both its
+    #: compute and its transfers have finished
     inflight = []
 
-    def move(nbytes, direction):
-        if streaming:
-            transfer = env.process(
-                ctx.bus.transfer(nbytes, direction, device=device.name)
-            )
-            # A background copy can fail via fault injection; the
-            # operator observes that when it joins the transfer tail.
-            # Pre-defuse so an abort on another path cannot leave an
-            # unwaited failure to crash the event loop.
-            transfer.defused = True
-            inflight.append(transfer)
+    def spawn(generator):
+        # A background copy can fail via fault injection; the
+        # operator observes that when it joins the transfer tail.
+        # Pre-defuse so an abort on another path cannot leave an
+        # unwaited failure to crash the event loop.
+        transfer = env.process(generator)
+        transfer.defused = True
+        inflight.append(transfer)
+
+    def move(nbytes, direction, key=None):
+        if engine is not None:
+            spawn(engine.transfer(nbytes, direction, device=device.name,
+                                  key=key))
+        elif streaming:
+            spawn(ctx.bus.transfer(nbytes, direction, device=device.name))
         else:
             yield from ctx.bus.transfer(nbytes, direction,
                                         device=device.name)
@@ -160,9 +169,18 @@ def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache):
                 cache.touch(key)
                 cache.acquire(key)
                 acquired.append(key)
+                if engine is not None:
+                    if engine.was_prefetched(device.name, key):
+                        ctx.metrics.record_prefetch_hit()
+                    # cache content can still be on the wire (another
+                    # operator or the prefetcher admitted it while its
+                    # copy is in flight): coalesce onto that copy
+                    pending = engine.attach(device.name, "h2d", key)
+                    if pending is not None:
+                        inflight.append(pending)
                 continue
             cache.record_miss()
-            yield from move(column.nominal_bytes, "h2d")
+            yield from move(column.nominal_bytes, "h2d", key=key)
             if admit_to_cache and cache.admit(key, column.nominal_bytes):
                 cache.acquire(key)
                 acquired.append(key)
@@ -175,6 +193,13 @@ def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache):
         #    host, then host to this device).
         for child in child_results:
             if child.location != device.name:
+                if engine is not None:
+                    # full-duplex channels no longer serialise the two
+                    # hops; chain them explicitly in one background copy
+                    staged.append(heap.allocate(child.nominal_bytes,
+                                                owner=op.label))
+                    spawn(_relay_child(engine, child, device.name))
+                    continue
                 if child.location != "cpu":
                     yield from move(child.nominal_bytes, "d2h")
                 staged.append(heap.allocate(child.nominal_bytes, owner=op.label))
@@ -253,6 +278,19 @@ def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache):
             allocation.free()
 
 
+def _relay_child(engine, child, target_device):
+    """DES process: relay a child intermediate to ``target_device``.
+
+    On a different co-processor the result hops device-to-host first,
+    then host-to-device; the engine's channels would otherwise let the
+    two hops run concurrently, so they are chained in one process."""
+    if child.location != "cpu":
+        yield from engine.transfer(child.nominal_bytes, "d2h",
+                                   device=child.location)
+    yield from engine.transfer(child.nominal_bytes, "h2d",
+                               device=target_device)
+
+
 def _run_cpu(ctx, op, child_results, input_bytes):
     """CPU execution (native placement or fallback after an abort)."""
     start = ctx.env.now
@@ -260,7 +298,9 @@ def _run_cpu(ctx, op, child_results, input_bytes):
         if child.location != "cpu":
             # The paper's fallback cost: results must come back over
             # the bus before the CPU can continue (Sec. 2.5.1).
-            yield from ctx.bus.transfer(child.nominal_bytes, "d2h")
+            yield from ctx.hardware.host_transfer(
+                child.nominal_bytes, "d2h", device=child.location
+            )
     if ctx.algorithm_selection:
         algorithm_key, _ = choose_algorithm(
             ctx.cost_model, ctx.profile, op.kind, ProcessorKind.CPU,

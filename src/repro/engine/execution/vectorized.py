@@ -143,7 +143,9 @@ class VectorizedExecutor:
             yield from self._run_pipeline(pipeline, results, consumer)
         result = results[plan.root.op_id]
         if result.location != "cpu":
-            yield from self.ctx.bus.transfer(result.nominal_bytes, "d2h")
+            yield from self.ctx.hardware.host_transfer(
+                result.nominal_bytes, "d2h", device=result.location
+            )
             result.release_device_memory()
             result.location = "cpu"
         return result
@@ -318,20 +320,29 @@ class VectorizedExecutor:
 
         breaker = None
         transfers = None
+        engine = ctx.hardware.copy_engine
         try:
             # the breaker's materialised output (or hash table) is the
             # pipeline's only heap demand — vectors themselves stream
             breaker = device.heap.allocate(result.nominal_bytes,
                                            owner=pipeline.terminal.label)
-            if stream_bytes:
-                transfers = env.process(
-                    ctx.bus.transfer(int(stream_bytes * (1 - split)),
-                                     "h2d", device=device_name)
-                )
-                # joined below; pre-defuse so a fault on the compute
-                # path cannot leave an unwaited transfer failure
-                transfers.defused = True
-            gpu_done = device.processor.submit(gpu_seconds * (1 - split))
+            if engine is not None and stream_bytes:
+                # double-buffered streaming: the copy engine moves
+                # vector k+1 while the kernel consumes vector k
+                gpu_done = env.process(self._stream_vectors(
+                    device, int(stream_bytes * (1 - split)),
+                    gpu_seconds * (1 - split),
+                ))
+            else:
+                if stream_bytes:
+                    transfers = env.process(
+                        ctx.bus.transfer(int(stream_bytes * (1 - split)),
+                                         "h2d", device=device_name)
+                    )
+                    # joined below; pre-defuse so a fault on the compute
+                    # path cannot leave an unwaited transfer failure
+                    transfers.defused = True
+                gpu_done = device.processor.submit(gpu_seconds * (1 - split))
             cpu_done = ctx.hardware.cpu.submit(cpu_seconds * split)
             yield env.all_of([gpu_done, cpu_done])
             if transfers is not None:
@@ -359,6 +370,38 @@ class VectorizedExecutor:
                 )
             return fault
 
+    def _stream_vectors(self, device, stream_bytes: int,
+                        compute_seconds: float) -> Generator:
+        """DES process: double-buffered vector streaming (Sec. 5.5).
+
+        The pipeline's uncached inputs move one chunk-sized vector at a
+        time over the device's h2d channel; vector ``k+1`` is on the
+        wire while the kernel consumes vector ``k``, so the pipeline
+        costs roughly ``max(transfer, compute)`` plus one vector of
+        fill latency.  An injected PCIe fault or a kernel fault fails
+        this process, which the caller observes through ``all_of``.
+        """
+        ctx = self.ctx
+        engine = ctx.hardware.copy_engine
+        chunk = engine.chunk_bytes
+        remaining = int(stream_bytes)
+        vectors = max(1, -(-remaining // chunk))
+        per_compute = compute_seconds / vectors
+        pending = None
+        for _ in range(vectors):
+            vector_bytes = min(chunk, remaining)
+            remaining -= vector_bytes
+            yield from engine.transfer(vector_bytes, "h2d",
+                                       device=device.name)
+            if pending is not None:
+                yield pending
+            pending = device.processor.submit(per_compute)
+            # a stall-failing kernel whose stream dies first must not
+            # escalate as an unwaited failure
+            pending.defused = True
+        if pending is not None:
+            yield pending
+
     def _run_on_cpu(self, pipeline: Pipeline,
                     results: Dict[int, OperatorResult],
                     result: OperatorResult) -> Generator:
@@ -368,8 +411,9 @@ class VectorizedExecutor:
             for child in op.children:
                 child_result = results.get(child.op_id)
                 if child_result is not None and child_result.location != "cpu":
-                    yield from ctx.bus.transfer(
-                        child_result.nominal_bytes, "d2h"
+                    yield from ctx.hardware.host_transfer(
+                        child_result.nominal_bytes, "d2h",
+                        device=child_result.location,
                     )
         _, compute = self._io_and_compute(pipeline, results, None)
         yield from ctx.hardware.cpu.execute(compute[ProcessorKind.CPU])

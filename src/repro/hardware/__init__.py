@@ -10,6 +10,9 @@ inside the DES kernel:
 * :class:`DeviceCache` — the co-processor column cache with LRU/LFU
   eviction, pinning, and reference counts.
 * :class:`PCIeBus` — a shared, contended transfer channel.
+* :class:`CopyEngine` — optional asynchronous per-device DMA channels
+  with in-flight transfer coalescing and prefetch support
+  (``SystemConfig.copy_engine``); the serialized bus stays the default.
 * :class:`HardwareSystem` — wires everything to one environment, based
   on a :class:`SystemConfig` mirroring the paper's platform.
 """
@@ -28,6 +31,7 @@ from repro.hardware.errors import (
 from repro.hardware.memory import Allocation, DeviceHeap
 from repro.hardware.cache import CacheEntry, DeviceCache
 from repro.hardware.bus import PCIeBus
+from repro.hardware.copy_engine import CopyEngine, TransferHandle
 from repro.hardware.processor import Processor, ProcessorKind
 from repro.hardware.calibration import (
     COGADB_PROFILE,
@@ -41,6 +45,7 @@ __all__ = [
     "Allocation",
     "CacheEntry",
     "COGADB_PROFILE",
+    "CopyEngine",
     "DeviceCache",
     "DeviceFault",
     "DeviceHeap",
@@ -59,5 +64,6 @@ __all__ = [
     "Processor",
     "ProcessorKind",
     "SystemConfig",
+    "TransferHandle",
     "TransientDeviceFault",
 ]

@@ -54,7 +54,10 @@ class PCIeBus:
         ``direction`` is ``"h2d"`` (host to device) or ``"d2h"``.
         Yields until the bus is free and the wire time has elapsed.
         Only the wire time (not the queueing delay) is charged to the
-        metrics, matching how the paper reports copy times.
+        transfer counters, matching how the paper reports copy times;
+        the time spent waiting for the channel is recorded separately
+        (``record_transfer_queueing``), so contention is measurable
+        instead of silently folded into copy time.
 
         ``device`` names the co-processor endpoint for fault
         attribution; transfers that name one are injection sites for
@@ -70,14 +73,26 @@ class PCIeBus:
         if nbytes == 0:
             return
         injector = self.injector
+        queued_at = self.env.now
         request = self._channel.request()
         yield request
+        waited = self.env.now - queued_at
+        if waited > 0.0 and self.metrics is not None:
+            self.metrics.record_transfer_queueing(direction, waited)
         try:
             wire_time = self.transfer_time(nbytes)
             if (injector is not None and device is not None
                     and injector.roll("pcie", device)):
-                # Partial progress: the copy dies part-way down the wire.
-                yield self.env.timeout(wire_time * injector.fraction("pcie"))
+                # Partial progress: the copy dies part-way down the
+                # wire.  The bus time it burned is real occupancy and
+                # stays on the books along with the bytes that landed.
+                fraction = injector.fraction("pcie")
+                yield self.env.timeout(wire_time * fraction)
+                if self.metrics is not None:
+                    self.metrics.record_transfer(
+                        direction, int(nbytes * fraction),
+                        wire_time * fraction,
+                    )
                 raise PCIeTransferFault(nbytes, direction, device=device)
             yield self.env.timeout(wire_time)
             if self.metrics is not None:

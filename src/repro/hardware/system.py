@@ -10,11 +10,12 @@ collector.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Generator, Optional
 
 from repro.hardware.bus import PCIeBus
 from repro.hardware.cache import DeviceCache
-from repro.hardware.calibration import COGADB_PROFILE, GIB, EngineProfile
+from repro.hardware.calibration import COGADB_PROFILE, GIB, MIB, EngineProfile
+from repro.hardware.copy_engine import CopyEngine
 from repro.hardware.memory import DeviceHeap
 from repro.hardware.processor import Processor, ProcessorKind
 from repro.metrics import MetricsCollector
@@ -47,6 +48,21 @@ class SystemConfig:
     #: transfer and computation on the co-processor"); CoGaDB's
     #: operator-at-a-time engine stages first, so the default is off
     streaming_transfers: bool = False
+    #: asynchronous copy engine (repro.hardware.copy_engine):
+    #: independent h2d/d2h DMA channels per device, in-flight transfer
+    #: coalescing, double-buffered vector streaming, and
+    #: placement-driven prefetch.  Off by default — the serialized
+    #: single-channel bus is the paper-faithful baseline.
+    copy_engine: bool = False
+    #: DMA chunk size: fault granularity, prefetch preemption points,
+    #: and the vector size of double-buffered streaming
+    copy_chunk_bytes: int = 32 * MIB
+    #: attach concurrent operators to an in-flight copy of the same
+    #: column instead of queueing a duplicate transfer
+    copy_coalescing: bool = True
+    #: columns the prefetcher pulls per idle bus window (0 disables the
+    #: prefetcher; only meaningful with the copy engine on)
+    prefetch_depth: int = 2
     #: cost calibration
     profile: EngineProfile = COGADB_PROFILE
 
@@ -57,6 +73,10 @@ class SystemConfig:
             raise ValueError("memory sizes must be >= 0")
         if self.gpu_count < 1:
             raise ValueError("at least one co-processor is required")
+        if self.copy_chunk_bytes <= 0:
+            raise ValueError("copy chunk size must be positive")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch depth must be >= 0")
 
     @property
     def gpu_heap_bytes(self) -> int:
@@ -69,6 +89,12 @@ class SystemConfig:
 
     def with_profile(self, profile: EngineProfile) -> "SystemConfig":
         return replace(self, profile=profile)
+
+    def with_copy_engine(self, enabled: bool = True,
+                         **overrides) -> "SystemConfig":
+        """Copy of this config with the copy engine toggled (plus any
+        engine knob overrides: chunk size, coalescing, prefetch depth)."""
+        return replace(self, copy_engine=enabled, **overrides)
 
 
 @dataclass
@@ -125,18 +151,72 @@ class HardwareSystem:
                 )
             )
         self.profile = self.config.profile
+        #: asynchronous copy engine; None in the (default) serialized
+        #: baseline mode, so disabled runs construct nothing extra
+        self.copy_engine = None
+        if self.config.copy_engine:
+            self.copy_engine = CopyEngine(
+                env,
+                bandwidth_bytes_per_second=(
+                    self.config.pcie_bandwidth_bytes_per_second),
+                latency_seconds=self.config.pcie_latency_seconds,
+                chunk_bytes=self.config.copy_chunk_bytes,
+                coalescing=self.config.copy_coalescing,
+                metrics=self.metrics,
+                busy_probe=self._device_computing,
+            )
         #: fault injector shared by every device (None = faults off)
         self.injector = None
+
+    def _device_computing(self, name: str) -> bool:
+        """True while the named device has kernels in flight (the copy
+        engine's overlap classifier)."""
+        try:
+            return self.processor(name).active_jobs > 0
+        except KeyError:
+            return False
+
+    # -- transfers ------------------------------------------------------
+
+    def device_transfer(self, nbytes: int, direction: str, device: str,
+                        key=None) -> Generator:
+        """DES process: a demand transfer to/from the named device.
+
+        Routed over the copy engine's per-device channel when the
+        engine is on (``key`` makes it coalescable), or the serialized
+        bus otherwise.  Either way the copy is a PCIe fault-injection
+        site attributed to ``device``."""
+        if self.copy_engine is not None:
+            yield from self.copy_engine.transfer(nbytes, direction,
+                                                 device=device, key=key)
+        else:
+            yield from self.bus.transfer(nbytes, direction, device=device)
+
+    def host_transfer(self, nbytes: int, direction: str = "d2h",
+                      device: Optional[str] = None) -> Generator:
+        """DES process: a guaranteed (never fault-injected) transfer —
+        the CPU fallback path and final result delivery.
+
+        With the copy engine on and a device named, the copy contends
+        on that device's channel for the direction; it still cannot
+        fault, so the CPU-only floor stays reachable."""
+        if self.copy_engine is not None and device is not None:
+            yield from self.copy_engine.transfer(nbytes, direction,
+                                                 device=device, inject=False)
+        else:
+            yield from self.bus.transfer(nbytes, direction)
 
     # -- fault injection ------------------------------------------------
 
     def install_faults(self, injector) -> None:
         """Hook a :class:`~repro.faults.FaultInjector` into every
-        injection site: the PCIe bus, each co-processor's submission
-        path, and each device heap.  Injected device resets flush the
-        owning device's column cache."""
+        injection site: the PCIe bus, the copy engine's channels, each
+        co-processor's submission path, and each device heap.  Injected
+        device resets flush the owning device's column cache."""
         self.injector = injector
         self.bus.injector = injector
+        if self.copy_engine is not None:
+            self.copy_engine.injector = injector
         for gpu_device in self.gpus:
             gpu_device.processor.injector = injector
             gpu_device.processor.on_reset = gpu_device.cache.reset

@@ -826,3 +826,68 @@ def chaos_sweep(
         wasted_seconds=floor.wasted_seconds,
     )
     return result
+
+
+# ---------------------------------------------------------------------------
+# Extension — asynchronous copy engine: transfer/compute overlap
+# ---------------------------------------------------------------------------
+
+def overlap_sweep(
+    benchmark: str = "ssb",
+    scale_factor: float = 10,
+    users: Sequence[int] = (1, 2, 4, 8),
+    gpu_count: int = 2,
+    strategy: str = "runtime",
+    repetitions: int = 2,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
+    """Transfer-bound sweep: serialized bus vs. asynchronous copy engine.
+
+    Every cell starts cold (``warm_cache=False``) so staging traffic
+    dominates, the shape of Figs. 6/15 where the bus is the bottleneck.
+    Each user count runs twice — once on the paper-faithful serialized
+    single-channel bus, once with the copy engine's per-device duplex
+    channels, coalescing, and placement-driven prefetch — and the table
+    reports the speedup together with the new bus-accounting counters
+    (queueing delay, overlap ratio, coalesce and prefetch-hit counts).
+    """
+    users = _grid(users)
+    repetitions = _reps(repetitions)
+    base_config = SystemConfig(
+        gpu_count=gpu_count,
+        gpu_memory_bytes=FULL_CONFIG.gpu_memory_bytes,
+        gpu_cache_bytes=FULL_CONFIG.gpu_cache_bytes,
+    )
+    grid = [(n_users, engine) for n_users in users
+            for engine in (False, True)]
+    cells = [
+        Cell(
+            workload=benchmark, scale_factor=scale_factor, strategy=strategy,
+            config=base_config.with_copy_engine(engine),
+            users=n_users, repetitions=repetitions, warm_cache=False,
+        )
+        for n_users, engine in grid
+    ]
+    result = ExperimentResult(
+        "Extension: copy-engine overlap sweep ({}, SF {}, {} GPUs)".format(
+            benchmark, scale_factor, gpu_count
+        )
+    )
+    outcomes = run_cells(cells, jobs)
+    baseline_seconds = {}
+    for (n_users, engine), outcome in zip(grid, outcomes):
+        if not engine:
+            baseline_seconds[n_users] = outcome.seconds
+        result.add(
+            users=n_users,
+            copy_engine=engine,
+            seconds=outcome.seconds,
+            speedup=(baseline_seconds[n_users] / outcome.seconds
+                     if outcome.seconds else float("nan")),
+            h2d_seconds=outcome.h2d_seconds,
+            queue_seconds=outcome.queue_seconds,
+            overlap_ratio=outcome.overlap_ratio,
+            coalesced=outcome.coalesced_transfers,
+            prefetch_hits=outcome.prefetch_hits,
+        )
+    return result

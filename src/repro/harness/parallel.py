@@ -139,6 +139,14 @@ class CellOutcome:
     breaker_half_opens: int = 0
     breaker_closes: int = 0
     breaker_skips: int = 0
+    #: copy-engine / bus-accounting measurements (all zero when the
+    #: engine is off; queue_seconds is live either way)
+    queue_seconds: float = 0.0
+    coalesced_transfers: int = 0
+    prefetch_transfers: int = 0
+    prefetch_hits: int = 0
+    overlap_ratio: float = 0.0
+    bus_utilization: float = 0.0
 
     def mean_latency(self, query_name: str) -> float:
         return self.latencies.get(query_name, 0.0)
@@ -217,6 +225,12 @@ def execute_cell(cell: Cell) -> CellOutcome:
         breaker_half_opens=transitions.get("half_open", 0),
         breaker_closes=transitions.get("closed", 0),
         breaker_skips=sum(metrics.breaker_skips.values()),
+        queue_seconds=metrics.transfer_queue_seconds,
+        coalesced_transfers=metrics.coalesced_transfers,
+        prefetch_transfers=metrics.prefetch_transfers,
+        prefetch_hits=metrics.prefetch_hits,
+        overlap_ratio=metrics.overlap_ratio,
+        bus_utilization=metrics.bus_utilization,
     )
 
 

@@ -4,7 +4,10 @@ One :class:`MetricsCollector` instance accompanies one workload run and
 records everything Figures 1–25 need:
 
 * per-query latencies,
-* PCIe transfer time and volume per direction,
+* PCIe transfer time and volume per direction, plus the channel
+  queueing delay contended transfers spent waiting,
+* copy-engine accounting: coalesced duplicate copies, background
+  prefetch traffic and hits, and wire time overlapped with compute,
 * operator abort counts and the *wasted time* metric (Sec. 6.2.2:
   time from operator begin to abort, accumulated),
 * per-processor operator execution counts and busy time,
@@ -56,6 +59,21 @@ class MetricsCollector:
     #: seconds spent copying device -> host, and bytes moved
     gpu_to_cpu_seconds: float = 0.0
     gpu_to_cpu_bytes: int = 0
+    #: time transfers spent *waiting* for a channel, per direction —
+    #: contention, recorded separately from the wire time above
+    h2d_queue_seconds: float = 0.0
+    d2h_queue_seconds: float = 0.0
+    #: copy-engine accounting: duplicate copies absorbed by in-flight
+    #: coalescing, background prefetch copies, and demand accesses
+    #: served from prefetched cache content
+    coalesced_transfers: int = 0
+    coalesced_bytes: int = 0
+    prefetch_transfers: int = 0
+    prefetch_bytes: int = 0
+    prefetch_hits: int = 0
+    #: wire seconds that elapsed while the destination device was
+    #: computing — the transfer/compute overlap the engine buys
+    overlapped_transfer_seconds: float = 0.0
     #: number of operators that aborted on the co-processor
     aborts: int = 0
     #: accumulated time from operator begin to abort (paper's metric)
@@ -112,6 +130,33 @@ class MetricsCollector:
             self.gpu_to_cpu_bytes += nbytes
         else:
             raise ValueError("unknown transfer direction {!r}".format(direction))
+
+    def record_transfer_queueing(self, direction: str, seconds: float) -> None:
+        """Record time one transfer spent queued for a channel."""
+        if direction == "h2d":
+            self.h2d_queue_seconds += seconds
+        elif direction == "d2h":
+            self.d2h_queue_seconds += seconds
+        else:
+            raise ValueError("unknown transfer direction {!r}".format(direction))
+
+    def record_coalesced(self, nbytes: int) -> None:
+        """Record a copy absorbed by an identical in-flight transfer."""
+        self.coalesced_transfers += 1
+        self.coalesced_bytes += nbytes
+
+    def record_prefetch(self, nbytes: int) -> None:
+        """Record one completed background prefetch copy."""
+        self.prefetch_transfers += 1
+        self.prefetch_bytes += nbytes
+
+    def record_prefetch_hit(self) -> None:
+        """Record a demand access served from prefetched cache content."""
+        self.prefetch_hits += 1
+
+    def record_overlapped_transfer(self, seconds: float) -> None:
+        """Record wire time that overlapped compute on its device."""
+        self.overlapped_transfer_seconds += seconds
 
     def record_abort(self, wasted_seconds: float,
                      query: Optional[str] = None,
@@ -203,6 +248,27 @@ class MetricsCollector:
         return self.cpu_to_gpu_seconds + self.gpu_to_cpu_seconds
 
     @property
+    def transfer_queue_seconds(self) -> float:
+        """Total channel-queueing delay in both directions."""
+        return self.h2d_queue_seconds + self.d2h_queue_seconds
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Fraction of wire time overlapped with device compute."""
+        if self.transfer_seconds <= 0:
+            return 0.0
+        return self.overlapped_transfer_seconds / self.transfer_seconds
+
+    @property
+    def bus_utilization(self) -> float:
+        """Wire seconds per makespan second.  Above 1.0 means the
+        full-duplex channels moved data faster than one serialized bus
+        ever could."""
+        if self.workload_seconds <= 0:
+            return 0.0
+        return self.transfer_seconds / self.workload_seconds
+
+    @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         if total == 0:
@@ -261,6 +327,12 @@ class MetricsCollector:
             "gpu_to_cpu_seconds": self.gpu_to_cpu_seconds,
             "cpu_to_gpu_gib": self.cpu_to_gpu_bytes / float(1 << 30),
             "gpu_to_cpu_gib": self.gpu_to_cpu_bytes / float(1 << 30),
+            "transfer_queue_seconds": self.transfer_queue_seconds,
+            "bus_utilization": self.bus_utilization,
+            "overlap_ratio": self.overlap_ratio,
+            "coalesced_transfers": float(self.coalesced_transfers),
+            "prefetch_transfers": float(self.prefetch_transfers),
+            "prefetch_hits": float(self.prefetch_hits),
             "aborts": float(self.aborts),
             "wasted_seconds": self.wasted_seconds,
             "cache_hit_rate": self.cache_hit_rate,
