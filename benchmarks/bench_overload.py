@@ -1,0 +1,292 @@
+"""Overload benchmark: the query-lifecycle layer under pressure.
+
+Exercises ``repro.engine.execution.lifecycle`` end to end and gates the
+tentpole guarantees:
+
+* **bounded tail latency** — at 4x load, admission control (shed
+  policy) keeps the p99 latency within 3x of the single-user p99,
+  while the unmanaged query stream's p99 keeps growing with the queue
+  depth;
+* **cancellation correctness** — a deadline that cancels roughly half
+  the stream mid-flight leaves every surviving query's results
+  byte-identical to the uncancelled run;
+* **zero overhead when disabled** — ``lifecycle=None`` and an all-off
+  ``LifecycleConfig()`` produce byte-identical simulated timings and
+  results, and leave the PR 3 fault-injection digests untouched;
+* **straggler hedging** — under injected driver stalls the hedging
+  watchdog demonstrably races stragglers onto the CPU, wins races, and
+  the results stay correct (``validate=True``).
+
+The exit code is nonzero iff any gate fails.  Writes ``BENCH_PR5.json``.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_overload.py
+Or under pytest: PYTHONPATH=src python -m pytest benchmarks/bench_overload.py
+
+``REPRO_FAST=1`` shrinks the sweep (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.engine.execution import LifecycleConfig  # noqa: E402
+from repro.faults import FaultConfig  # noqa: E402
+from repro.harness import experiments as E  # noqa: E402
+from repro.harness.runner import run_workload  # noqa: E402
+from repro.workloads import ssb  # noqa: E402
+
+FAST = os.environ.get("REPRO_FAST", "").strip() not in ("", "0")
+
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_PR5.json"
+)
+
+SIZES = {
+    "scale_factor": 5 if FAST else 10,
+    "repetitions": 1 if FAST else 2,
+    "loads": (1, 4) if FAST else (1, 4, 8),
+}
+
+SEED = 7
+
+#: Tail-latency bound: the admitted p99 at 4x load must stay within
+#: this factor of the single-user p99.
+TAIL_FACTOR = 3.0
+
+
+def _run(users=1, lifecycle=None, faults=None, validate=False,
+         collect_results=False):
+    database = E.ssb_database(SIZES["scale_factor"])
+    return run_workload(
+        database, ssb.workload(database), "chopping",
+        config=E.FULL_CONFIG, users=users,
+        repetitions=SIZES["repetitions"],
+        lifecycle=lifecycle, faults=faults,
+        validate=validate, collect_results=collect_results,
+    )
+
+
+def _digest_results(results) -> str:
+    payload = repr(sorted(
+        (name, tuple(table.row_tuples())) for name, table in results.items()
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _rows_by_query(results):
+    return {name: tuple(table.row_tuples())
+            for name, table in results.items()}
+
+
+# ---------------------------------------------------------------------------
+# Gate 1: admission control bounds the tail under overload
+# ---------------------------------------------------------------------------
+
+def gate_tail_latency():
+    admission = LifecycleConfig(max_inflight=2, overload_policy="shed")
+    curve = []
+    p99 = {}
+    for users in SIZES["loads"]:
+        off = _run(users=users)
+        on = _run(users=users, lifecycle=admission)
+        p99[(users, "off")] = off.metrics.latency_percentile(0.99)
+        p99[(users, "on")] = on.metrics.latency_percentile(0.99)
+        curve.append({
+            "users": users,
+            "p99_off": p99[(users, "off")],
+            "p99_on": p99[(users, "on")],
+            "completed_on": len(on.metrics.queries),
+            "shed_on": sum(on.metrics.sheds.values()),
+        })
+    base = p99[(1, "on")]
+    loaded = p99[(4, "on")]
+    bounded = loaded <= TAIL_FACTOR * base
+    off_grows = all(
+        p99[(a, "off")] < p99[(b, "off")]
+        for a, b in zip(SIZES["loads"], SIZES["loads"][1:])
+    )
+    admitted_beats_off = p99[(4, "on")] < p99[(4, "off")]
+    return {
+        "curve": curve,
+        "tail_factor": TAIL_FACTOR,
+        "p99_1x": base,
+        "p99_4x_admitted": loaded,
+        "p99_4x_over_1x": loaded / base if base else 0.0,
+        "bounded": bounded,
+        "off_grows_with_load": off_grows,
+        "admitted_beats_off": admitted_beats_off,
+        "identical": bounded and off_grows and admitted_beats_off,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 2: mass cancellation leaves survivors byte-identical
+# ---------------------------------------------------------------------------
+
+def gate_cancellation_identity():
+    clean = _run(users=4, collect_results=True)
+    clean_rows = _rows_by_query(clean.results)
+    deadline = clean.metrics.latency_percentile(0.50)
+    cancel_run = _run(
+        users=4, collect_results=True, validate=True,
+        lifecycle=LifecycleConfig(deadline_seconds=deadline),
+    )
+    metrics = cancel_run.metrics
+    total = len(metrics.queries) + len(metrics.cancelled_queries)
+    survivors = _rows_by_query(cancel_run.results)
+    survivors_identical = all(
+        rows == clean_rows[name] for name, rows in survivors.items()
+    )
+    # a fresh uncancelled run after the carnage reproduces the baseline
+    rerun = _run(users=4, collect_results=True)
+    rerun_identical = (
+        _digest_results(rerun.results) == _digest_results(clean.results)
+    )
+    cancelled_fraction = (
+        len(metrics.cancelled_queries) / total if total else 0.0
+    )
+    return {
+        "deadline_seconds": deadline,
+        "total_queries": total,
+        "cancelled": len(metrics.cancelled_queries),
+        "cancelled_fraction": cancelled_fraction,
+        "deadline_misses": sum(metrics.deadline_misses.values()),
+        "cancels_drained": metrics.cancels,
+        "survivors_identical": survivors_identical,
+        "rerun_identical": rerun_identical,
+        "identical": (survivors_identical and rerun_identical
+                      and 0.0 < cancelled_fraction < 1.0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 3: zero overhead when the layer is disabled
+# ---------------------------------------------------------------------------
+
+def gate_zero_overhead():
+    base = _run(users=2, collect_results=True)
+    off = _run(users=2, collect_results=True, lifecycle=LifecycleConfig())
+    identical_plain = (
+        base.seconds == off.seconds
+        and _digest_results(base.results) == _digest_results(off.results)
+        and not off.lifecycle_enabled
+    )
+    faults = FaultConfig.uniform(0.05, seed=SEED)
+    base_faulted = _run(users=2, faults=faults)
+    off_faulted = _run(users=2, faults=faults, lifecycle=LifecycleConfig())
+    identical_faulted = (
+        base_faulted.fault_digest == off_faulted.fault_digest
+        and base_faulted.faults_injected == off_faulted.faults_injected
+        and base_faulted.seconds == off_faulted.seconds
+    )
+    return {
+        "off_seconds": base.seconds,
+        "disabled_config_seconds": off.seconds,
+        "plain_identical": identical_plain,
+        "fault_digest_unchanged": identical_faulted,
+        "identical": identical_plain and identical_faulted,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 4: hedging races stragglers and stays correct
+# ---------------------------------------------------------------------------
+
+def gate_hedging():
+    run = _run(
+        users=2, validate=True,
+        faults=FaultConfig.parse("stall=0.4,seed={}".format(SEED)),
+        lifecycle=LifecycleConfig(hedge_factor=1.5),
+    )
+    metrics = run.metrics
+    resolved_ok = (
+        metrics.hedge_wins + metrics.hedge_losses <= metrics.hedges_started
+    )
+    completed = len(metrics.queries)
+    expected = (len(ssb.workload(E.ssb_database(SIZES["scale_factor"])))
+                * SIZES["repetitions"])
+    return {
+        "hedges_started": metrics.hedges_started,
+        "hedge_wins": metrics.hedge_wins,
+        "hedge_losses": metrics.hedge_losses,
+        "completed": completed,
+        "expected": expected,
+        "identical": (metrics.hedges_started > 0
+                      and metrics.hedge_wins > 0
+                      and resolved_ok
+                      and completed == expected),
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    print("overload benchmark: SF {}, loads {}{}".format(
+        SIZES["scale_factor"], SIZES["loads"],
+        ", REPRO_FAST" if FAST else ""))
+    report = {
+        "benchmark": "overload_lifecycle",
+        "fast_mode": FAST,
+        "seed": SEED,
+        "gates": {},
+    }
+
+    tail = gate_tail_latency()
+    report["gates"]["tail_latency"] = tail
+    print("tail latency:    bounded={bounded} "
+          "(p99 {p99_4x_over_1x:.2f}x of 1x at 4x load, cap {tail_factor}), "
+          "off_grows={off_grows_with_load}, "
+          "admitted_beats_off={admitted_beats_off}".format(**tail))
+    for row in tail["curve"]:
+        print("  users {:>2} -> p99 off {:.4f}s  on {:.4f}s  "
+              "(completed {} / shed {})".format(
+                  row["users"], row["p99_off"], row["p99_on"],
+                  row["completed_on"], row["shed_on"]))
+
+    cancel = gate_cancellation_identity()
+    report["gates"]["cancellation_identity"] = cancel
+    print("cancellation:    identical={identical} "
+          "({cancelled}/{total_queries} cancelled at deadline "
+          "{deadline_seconds:.4f}s, survivors_identical="
+          "{survivors_identical})".format(**cancel))
+
+    zero = gate_zero_overhead()
+    report["gates"]["zero_overhead"] = zero
+    print("zero overhead:   identical={identical} "
+          "({off_seconds:.4f}s off vs {disabled_config_seconds:.4f}s "
+          "disabled-config, fault_digest_unchanged="
+          "{fault_digest_unchanged})".format(**zero))
+
+    hedging = gate_hedging()
+    report["gates"]["hedging"] = hedging
+    print("hedging:         identical={identical} "
+          "({hedges_started} hedges, {hedge_wins} wins, "
+          "{hedge_losses} losses, {completed}/{expected} completed)"
+          .format(**hedging))
+
+    report["all_gates_pass"] = all(
+        gate["identical"] for gate in report["gates"].values()
+    )
+    with open(OUTPUT, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote {}".format(os.path.normpath(OUTPUT)))
+    return 0 if report["all_gates_pass"] else 1
+
+
+def test_overload_lifecycle_gates():
+    """Pytest entry point: every overload gate holds; the report is
+    written."""
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

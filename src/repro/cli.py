@@ -85,6 +85,8 @@ FIGURE_DRIVERS = {
               {"repetitions": 1, "fault_rates": (0.0, 0.02, 0.1)}),
     "overlap": (E.overlap_sweep, {"repetitions": 2},
                 {"repetitions": 1, "users": (1, 4), "scale_factor": 5}),
+    "overload": (E.overload_sweep, {"repetitions": 2},
+                 {"repetitions": 1, "loads": (1, 4), "scale_factor": 5}),
 }
 
 
@@ -125,6 +127,19 @@ def _resolve_faults(args):
     return FaultConfig.from_env()
 
 
+def _resolve_lifecycle(args):
+    """Build a LifecycleConfig from the run flags (None = layer off)."""
+    from repro.engine.execution import LifecycleConfig
+
+    config = LifecycleConfig(
+        max_inflight=args.max_inflight,
+        overload_policy=args.overload_policy,
+        deadline_seconds=args.deadline,
+        hedge_factor=args.hedge_factor,
+    )
+    return config if config.enabled else None
+
+
 def cmd_run(args) -> int:
     database = _database(args.benchmark, args.scale_factor, args.data_scale)
     module = {"ssb": ssb, "tpch": tpch}[args.benchmark]
@@ -136,11 +151,12 @@ def cmd_run(args) -> int:
         copy_engine=args.copy_engine,
     )
     faults = _resolve_faults(args)
+    lifecycle = _resolve_lifecycle(args)
     run = run_workload(
         database, queries, args.strategy, config=config,
         users=args.users, repetitions=args.repetitions,
         warm_cache=not args.cold, trace=args.trace,
-        faults=faults,
+        faults=faults, lifecycle=lifecycle,
     )
     print("workload: {} SF {} x{} repetitions, {} users, strategy {}".format(
         args.benchmark, args.scale_factor, args.repetitions, args.users,
@@ -158,6 +174,16 @@ def cmd_run(args) -> int:
         for key, value in run.metrics.fault_summary().items():
             print("    {:20s} {:.6g}".format(key, value))
         print("    schedule digest: {}".format(run.fault_digest))
+    if lifecycle is not None:
+        print("  query lifecycle ({}):".format(", ".join(
+            part for part, on in (
+                ("admission", lifecycle.admission_enabled),
+                ("deadlines", lifecycle.deadlines_enabled),
+                ("hedging", lifecycle.hedging_enabled),
+            ) if on
+        )))
+        for key, value in run.metrics.lifecycle_summary().items():
+            print("    {:22s} {:.6g}".format(key, value))
     print("  per-query mean latencies:")
     for name, latency in run.metrics.latencies_by_query().items():
         print("    {:8s} {:.4f}s".format(name, latency))
@@ -256,6 +282,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="deterministic fault injection, e.g. "
                              "'pcie=0.01,kernel=0.005,seed=42' or a bare "
                              "uniform rate '0.02' (default: $REPRO_FAULTS)")
+    runner.add_argument("--max-inflight", type=int, default=None,
+                        metavar="N",
+                        help="admission control: at most N queries in "
+                             "flight (default: unlimited)")
+    runner.add_argument("--overload-policy",
+                        choices=("queue", "shed", "degrade-to-cpu"),
+                        default="queue",
+                        help="what happens to queries beyond the "
+                             "in-flight limit (default: queue)")
+    runner.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-query deadline in simulated seconds; "
+                             "late queries are cancelled cooperatively")
+    runner.add_argument("--hedge-factor", type=float, default=None,
+                        metavar="K",
+                        help="hedge a straggling GPU operator onto the "
+                             "CPU once it exceeds K times its runtime "
+                             "estimate (default: off)")
     runner.set_defaults(func=cmd_run)
 
     query = sub.add_parser("query", help="run ad-hoc SQL")

@@ -11,6 +11,15 @@ stream (Fig. 10/11).
 The worker pools bound operator-level concurrency per processor —
 operators allocate device memory only once a worker runs them, which is
 what prevents heap contention (Sec. 5.2).
+
+With the query-lifecycle layer on
+(:mod:`repro.engine.execution.lifecycle`) the executor additionally
+supports *cooperative cancellation* — a cancelled query's queued tasks
+are skipped at pickup and its running operators are interrupted — and
+*straggler hedging*: a watchdog re-enqueues a GPU-placed operator onto
+the CPU pool once it exceeds ``hedge_factor`` times its HyPE estimate;
+the first finisher wins and the loser is cancelled.  With the layer off
+every query takes the exact pre-existing code path (zero overhead).
 """
 
 from __future__ import annotations
@@ -19,9 +28,10 @@ from typing import Dict, Generator, List, Optional
 
 from repro.core.placement.base import estimate_runtime
 from repro.engine.execution.context import ExecutionContext
+from repro.engine.execution.lifecycle import QueryCancelled, QueryContext
 from repro.engine.execution.operator_task import execute_operator
 from repro.engine.operators import PhysicalOperator, PhysicalPlan
-from repro.sim import Event, PriorityStore, Store
+from repro.sim import Event, Interrupted, PriorityStore, Store
 
 
 class _Task:
@@ -36,6 +46,8 @@ class _Task:
         "root_event",
         "assigned",
         "estimate",
+        "qctx",
+        "race",
     )
 
     def __init__(self, op: PhysicalOperator):
@@ -47,6 +59,35 @@ class _Task:
         self.root_event: Optional[Event] = None
         self.assigned = "cpu"
         self.estimate = 0.0
+        self.qctx: Optional[QueryContext] = None
+        self.race: Optional[_HedgeRace] = None
+
+
+class _HedgeRace:
+    """Shared state of one hedged operator: primary vs. CPU copy.
+
+    The same :class:`_Task` object is enqueued on both pools; whichever
+    worker finishes first flips ``done``, interrupts the rival, and
+    performs the (single) parent notification.
+    """
+
+    __slots__ = (
+        "primary", "estimates", "procs", "done", "winner", "hedged",
+        "watchdog",
+    )
+
+    def __init__(self, primary: str, primary_estimate: float):
+        #: processor name of the original placement
+        self.primary = primary
+        #: per-processor HyPE estimates (for load-tracker bookkeeping)
+        self.estimates = {primary: primary_estimate}
+        #: per-processor operator processes
+        self.procs: Dict[str, object] = {}
+        self.done = False
+        self.winner: Optional[str] = None
+        #: True once the watchdog actually dispatched the CPU copy
+        self.hedged = False
+        self.watchdog = None
 
 
 class ChoppingExecutor:
@@ -54,7 +95,7 @@ class ChoppingExecutor:
 
     def __init__(self, ctx: ExecutionContext, strategy,
                  cpu_workers: int = 4, gpu_workers: int = 2,
-                 scheduling: str = "fifo"):
+                 scheduling: str = "fifo", lifecycle=None):
         if cpu_workers < 1 or gpu_workers < 1:
             raise ValueError("worker pools need at least one thread")
         if scheduling not in ("fifo", "sjf"):
@@ -63,6 +104,9 @@ class ChoppingExecutor:
         self.strategy = strategy
         self.cpu_workers = cpu_workers
         self.gpu_workers = gpu_workers
+        #: query-lifecycle config (hedging knobs); None = layer off
+        self.lifecycle = lifecycle
+        self._hedging = lifecycle is not None and lifecycle.hedging_enabled
         #: ready-queue discipline: FIFO (the paper's thread pool) or
         #: shortest-job-first by HyPE's runtime estimate
         self.scheduling = scheduling
@@ -80,23 +124,28 @@ class ChoppingExecutor:
 
     # -- query submission -------------------------------------------------
 
-    def submit(self, plan: PhysicalPlan) -> Event:
+    def submit(self, plan: PhysicalPlan,
+               qctx: Optional[QueryContext] = None) -> Event:
         """Chop ``plan`` into the operator stream.
 
         Returns an event that fires with the root
         :class:`~repro.engine.intermediates.OperatorResult` once the
-        query completes.
+        query completes.  With a ``qctx`` the event instead *fails*
+        with :class:`QueryCancelled` if the query is cancelled.
         """
         root_event = self.ctx.env.event()
         tasks: Dict[int, _Task] = {}
         for op in plan.operators:  # post order
             task = _Task(op)
+            task.qctx = qctx
             tasks[op.op_id] = task
             for index, child in enumerate(op.children):
                 child_task = tasks[child.op_id]
                 child_task.parent = task
                 child_task.child_index = index
         tasks[plan.root.op_id].root_event = root_event
+        if qctx is not None:
+            qctx.attach_root(root_event)
         # Leaves have no dependencies: they enter the stream immediately.
         for op in plan.operators:
             if not op.children:
@@ -107,9 +156,17 @@ class ChoppingExecutor:
 
     def _dispatch(self, task: _Task) -> None:
         """Place a ready operator and enqueue it (HyPE's tactical step)."""
-        name = self.strategy.choose_processor(
-            self.ctx, task.op, task.child_results
-        )
+        qctx = task.qctx
+        if qctx is not None and qctx.cancelled:
+            # the query died before this operator became ready
+            self._release_children(task)
+            return
+        if qctx is not None and qctx.force_cpu:
+            name = "cpu"
+        else:
+            name = self.strategy.choose_processor(
+                self.ctx, task.op, task.child_results
+            )
         task.assigned = name
         task.estimate = estimate_runtime(
             self.ctx, task.op, task.child_results, name
@@ -122,25 +179,152 @@ class ChoppingExecutor:
         ctx = self.ctx
         while True:
             task = yield self.ready[name].get()
-            result = yield from execute_operator(
-                ctx,
-                task.op,
-                task.child_results,
-                name,
-                admit_to_cache=self.strategy.admit_to_cache,
-            )
-            ctx.load.finish(name, task.estimate)
-            parent = task.parent
-            if parent is None:
-                if result.location != "cpu":
-                    yield from ctx.hardware.host_transfer(
-                        result.nominal_bytes, "d2h", device=result.location
-                    )
-                    result.release_device_memory()
-                    result.location = "cpu"
-                task.root_event.succeed(result)
+            if (task.qctx is None and task.race is None
+                    and not (self._hedging and name != "cpu"
+                             and not task.op.cpu_only)):
+                # Plain path — identical to the executor without the
+                # lifecycle layer (the zero-overhead guarantee).
+                result = yield from execute_operator(
+                    ctx,
+                    task.op,
+                    task.child_results,
+                    name,
+                    admit_to_cache=self.strategy.admit_to_cache,
+                )
+                ctx.load.finish(name, task.estimate)
+                yield from self._complete(task, result)
                 continue
-            parent.child_results[task.child_index] = result
-            parent.pending -= 1
-            if parent.pending == 0:
-                self._dispatch(parent)
+            yield from self._run_supervised(task, name)
+
+    def _run_supervised(self, task: _Task, name: str) -> Generator:
+        """Run one cancellable (and possibly hedged) operator.
+
+        The operator becomes its own DES process registered with the
+        query context, so a cancel can interrupt it mid-execution; the
+        worker joins it and performs bookkeeping and completion.
+        """
+        ctx = self.ctx
+        qctx = task.qctx
+        race = task.race
+        estimate = (race.estimates.get(name, task.estimate)
+                    if race is not None else task.estimate)
+        if qctx is not None and qctx.cancelled:
+            # skipped at pickup: the query died while the task queued
+            ctx.load.finish(name, estimate)
+            ctx.metrics.record_cancelled_skip()
+            self._release_children(task)
+            return
+        if race is not None and race.done:
+            # the rival finished while this copy sat in the queue
+            ctx.load.finish(name, estimate)
+            return
+        if race is None and self._hedging and name != "cpu" \
+                and not task.op.cpu_only:
+            race = _HedgeRace(name, task.estimate)
+            task.race = race
+            race.watchdog = ctx.env.process(self._hedge_watchdog(task))
+            race.watchdog.defused = True
+        proc = ctx.env.process(execute_operator(
+            ctx, task.op, task.child_results, name,
+            admit_to_cache=self.strategy.admit_to_cache, qctx=qctx,
+        ))
+        proc.defused = True
+        if qctx is not None:
+            qctx.register(proc)
+        if race is not None:
+            race.procs[name] = proc
+        try:
+            result = yield proc
+        except (Interrupted, QueryCancelled):
+            result = None
+        ctx.load.finish(name, estimate)
+        if race is not None:
+            if race.done:
+                # lost the race: the winner already notified the parent
+                if result is not None:
+                    result.release_device_memory()
+                return
+            if result is not None:
+                race.done = True
+                race.winner = name
+                if race.watchdog is not None and race.watchdog.is_alive:
+                    race.watchdog.interrupt()
+                for rival_name, rival in race.procs.items():
+                    if rival_name != name and rival.is_alive:
+                        rival.defused = True
+                        rival.interrupt(QueryCancelled(
+                            task.op.plan_name or "?", "hedged"
+                        ))
+                if race.hedged:
+                    if name != race.primary:
+                        ctx.metrics.record_hedge_win()
+                    else:
+                        ctx.metrics.record_hedge_loss()
+        if result is None:
+            # interrupted mid-flight; the operator rolled its own device
+            # state back, this task's staged inputs go with it
+            if qctx is not None and qctx.cancelled:
+                self._release_children(task)
+            return
+        yield from self._complete(task, result)
+
+    def _hedge_watchdog(self, task: _Task) -> Generator:
+        """Hedge ``task`` onto the CPU pool once the primary straggles.
+
+        Sleeps ``hedge_factor`` times the primary's HyPE estimate; if
+        the operator is still running then (heap-contention stall,
+        fault-induced retry storm), the same task is enqueued on the
+        CPU ready queue and the two copies race.
+        """
+        lifecycle = self.lifecycle
+        race = task.race
+        wait = max(task.estimate, lifecycle.hedge_min_seconds) \
+            * lifecycle.hedge_factor
+        try:
+            yield self.ctx.env.timeout(wait)
+        except Interrupted:
+            return
+        if race.done:
+            return
+        qctx = task.qctx
+        if qctx is not None and qctx.cancelled:
+            return
+        race.hedged = True
+        cpu_estimate = estimate_runtime(
+            self.ctx, task.op, task.child_results, "cpu"
+        )
+        race.estimates["cpu"] = cpu_estimate
+        self.ctx.load.assign("cpu", cpu_estimate)
+        self.ctx.metrics.record_hedge_started()
+        self.ready["cpu"].put(task, priority=cpu_estimate)
+
+    def _complete(self, task: _Task, result) -> Generator:
+        """Return the root result (d2h) or notify the parent task."""
+        ctx = self.ctx
+        parent = task.parent
+        if parent is None:
+            root_event = task.root_event
+            if root_event.triggered:
+                # cancelled while the final operator was finishing
+                result.release_device_memory()
+                return
+            if result.location != "cpu":
+                yield from ctx.hardware.host_transfer(
+                    result.nominal_bytes, "d2h", device=result.location
+                )
+                result.release_device_memory()
+                result.location = "cpu"
+                if root_event.triggered:  # cancelled during the d2h
+                    return
+            root_event.succeed(result)
+            return
+        parent.child_results[task.child_index] = result
+        parent.pending -= 1
+        if parent.pending == 0:
+            self._dispatch(parent)
+
+    @staticmethod
+    def _release_children(task: _Task) -> None:
+        for child in task.child_results:
+            if child is not None:
+                child.release_device_memory()

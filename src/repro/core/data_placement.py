@@ -22,8 +22,10 @@ demand copies at chunk boundaries.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Generator, List, Optional, Sequence, Set
 
+from repro.engine import caches as _cache_registry
 from repro.hardware import DeviceCache, PCIeTransferFault
 from repro.storage import Database
 
@@ -187,6 +189,15 @@ class PlacementPrefetcher:
         self.depth = depth
         self.engine = hardware.copy_engine
         self._skip: Dict[str, Set[str]] = {}
+        _prefetchers.add(self)
+
+    def clear_skips(self) -> None:
+        """Forget every given-up key (cache contents changed)."""
+        self._skip.clear()
+
+    def skip_count(self) -> int:
+        """Total given-up keys across devices (registry sizing hook)."""
+        return sum(len(keys) for keys in self._skip.values())
 
     def start(self) -> None:
         """Spawn one prefetch process per co-processor."""
@@ -245,3 +256,33 @@ class PlacementPrefetcher:
             except KeyError:
                 continue
             yield key, column.nominal_bytes
+
+
+#: Live prefetchers (weakly held): their per-device skip sets are
+#: derived state against a database — a key is given up because *that*
+#: database's cache content and column sizes left no room — so
+#: ``clear_database_caches`` must reset them along with every other
+#: registered cache, or a reused harness process would refuse to
+#: prefetch keys that a fresh run happily fetches.
+_prefetchers: "weakref.WeakSet[PlacementPrefetcher]" = weakref.WeakSet()
+
+
+def _clear_prefetch_skips(database=None) -> None:
+    for prefetcher in list(_prefetchers):
+        if (database is not None
+                and prefetcher.placement.database is not database):
+            continue
+        prefetcher.clear_skips()
+
+
+def _prefetch_skip_count(database=None) -> int:
+    return sum(
+        prefetcher.skip_count()
+        for prefetcher in list(_prefetchers)
+        if database is None or prefetcher.placement.database is database
+    )
+
+
+_cache_registry.register(
+    "prefetch_skips", _clear_prefetch_skips, _prefetch_skip_count
+)

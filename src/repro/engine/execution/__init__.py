@@ -6,10 +6,20 @@
   :mod:`repro.engine.execution.context`, :mod:`...operator_task`, and
   :mod:`...eager` (compile-time and run-time placement); the
   query-chopping executor lives in :mod:`repro.core.chopping`.
+* The overload-safe query lifecycle (admission control, deadlines with
+  cooperative cancellation, straggler hedging) lives in
+  :mod:`repro.engine.execution.lifecycle`.
 """
 
 from repro.engine.execution.functional import execute_functional
 from repro.engine.execution.context import ExecutionContext
+from repro.engine.execution.lifecycle import (
+    AdmissionController,
+    LifecycleConfig,
+    QueryCancelled,
+    QueryContext,
+    deadline_watchdog,
+)
 from repro.engine.execution.operator_task import execute_operator
 from repro.engine.execution.eager import run_plan_eager
 from repro.engine.execution.resilience import (
@@ -21,12 +31,17 @@ from repro.engine.execution.resilience import (
 from repro.engine.execution.vectorized import VectorizedExecutor
 
 __all__ = [
+    "AdmissionController",
     "BreakerState",
     "CircuitBreaker",
     "ExecutionContext",
+    "LifecycleConfig",
+    "QueryCancelled",
+    "QueryContext",
     "ResilienceManager",
     "RetryPolicy",
     "VectorizedExecutor",
+    "deadline_watchdog",
     "execute_functional",
     "execute_operator",
     "run_plan_eager",

@@ -33,8 +33,15 @@ def _estimate(ctx, op, child_results, processor_name) -> float:
 
 
 def run_plan_eager(ctx: ExecutionContext, plan: PhysicalPlan,
-                   strategy) -> Process:
-    """Start ``plan``; returns a process yielding the root result."""
+                   strategy, qctx=None) -> Process:
+    """Start ``plan``; returns a process yielding the root result.
+
+    With a ``qctx``
+    (:class:`~repro.engine.execution.lifecycle.QueryContext`) every
+    operator process registers for cooperative cancellation: a cancel
+    interrupts them all at the current simulated time and the abort
+    protocol rolls back their device state.
+    """
     env = ctx.env
     processes: Dict[int, Process] = {}
 
@@ -43,13 +50,20 @@ def run_plan_eager(ctx: ExecutionContext, plan: PhysicalPlan,
         for child_process in child_processes:
             child_result = yield child_process
             child_results.append(child_result)
-        processor_name = strategy.choose_processor(ctx, op, child_results)
+        if qctx is not None:
+            qctx.check()
+        if qctx is not None and qctx.force_cpu:
+            processor_name = "cpu"
+        else:
+            processor_name = strategy.choose_processor(
+                ctx, op, child_results
+            )
         estimate = _estimate(ctx, op, child_results, processor_name)
         ctx.load.assign(processor_name, estimate)
         try:
             result = yield from execute_operator(
                 ctx, op, child_results, processor_name,
-                admit_to_cache=strategy.admit_to_cache,
+                admit_to_cache=strategy.admit_to_cache, qctx=qctx,
             )
         finally:
             ctx.load.finish(processor_name, estimate)
@@ -57,7 +71,11 @@ def run_plan_eager(ctx: ExecutionContext, plan: PhysicalPlan,
 
     for op in plan.operators:  # post order: children already created
         children = [processes[c.op_id] for c in op.children]
-        processes[op.op_id] = env.process(operator_process(op, children))
+        process = env.process(operator_process(op, children))
+        if qctx is not None:
+            process.defused = True
+            qctx.register(process)
+        processes[op.op_id] = process
 
     def root_process() -> Generator:
         result = yield processes[plan.root.op_id]
@@ -69,4 +87,7 @@ def run_plan_eager(ctx: ExecutionContext, plan: PhysicalPlan,
             result.location = "cpu"
         return result
 
-    return env.process(root_process())
+    root = env.process(root_process())
+    if qctx is not None:
+        qctx.register(root)
+    return root

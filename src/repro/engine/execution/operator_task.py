@@ -48,13 +48,22 @@ def execute_operator(
     child_results: List[OperatorResult],
     processor_name: str,
     admit_to_cache: bool = True,
+    qctx=None,
 ) -> Generator:
     """DES process: run one operator, with GPU fault tolerance.
 
     Returns the :class:`OperatorResult`; its ``location`` records where
     the result resides.  Consumed child results release their device
     memory here (single-consumer plans).
+
+    ``qctx`` (a :class:`~repro.engine.execution.lifecycle.QueryContext`)
+    makes execution *cancellable*: cooperative checkpoints raise
+    :class:`~repro.engine.execution.lifecycle.QueryCancelled` between
+    attempts, and the produced result is tracked so a later cancel can
+    release its device memory.
     """
+    if qctx is not None:
+        qctx.check()
     database = ctx.database
     for key in sorted(op.required_columns()):
         database.statistics.record_access(key, ctx.env.now)
@@ -64,17 +73,22 @@ def execute_operator(
     if processor_name != "cpu" and not op.cpu_only:
         device = ctx.hardware.device(processor_name)
         result = yield from _try_gpu_with_recovery(
-            ctx, device, op, child_results, input_bytes, admit_to_cache
+            ctx, device, op, child_results, input_bytes, admit_to_cache,
+            qctx,
         )
     if result is None:
+        if qctx is not None:
+            qctx.check()
         result = yield from _run_cpu(ctx, op, child_results, input_bytes)
     for child in child_results:
         child.release_device_memory()
+    if qctx is not None:
+        qctx.track(result)
     return result
 
 
 def _try_gpu_with_recovery(ctx, device, op, child_results, input_bytes,
-                           admit_to_cache):
+                           admit_to_cache, qctx=None):
     """Device attempts under the retry policy and circuit breaker.
 
     Returns the :class:`OperatorResult` on success, or None once the
@@ -107,7 +121,8 @@ def _try_gpu_with_recovery(ctx, device, op, child_results, input_bytes,
         ctx.metrics.record_retry(device=device.name,
                                  fault=outcome.fault_class,
                                  query=op.plan_name)
-        yield env.timeout(resilience.policy.backoff_seconds(attempt))
+        # a cancelled query's backoff aborts early instead of retrying
+        yield from resilience.backoff(env, attempt, qctx)
         attempt += 1
 
 

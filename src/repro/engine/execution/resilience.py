@@ -77,13 +77,24 @@ class CircuitBreaker:
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.opened_at = 0.0
+        #: accumulated seconds of *completed* OPEN episodes
+        self.open_seconds_total = 0.0
         self._probe_budget = 0
 
     def _transition(self, new_state: BreakerState, now: float) -> None:
         old = self.state
+        if old is BreakerState.OPEN and new_state is not BreakerState.OPEN:
+            self.open_seconds_total += now - self.opened_at
         self.state = new_state
         if self.on_transition is not None:
             self.on_transition(self.device, old.value, new_state.value, now)
+
+    def open_elapsed_seconds(self, now: float) -> float:
+        """Total simulated time this breaker has spent OPEN so far."""
+        elapsed = self.open_seconds_total
+        if self.state is BreakerState.OPEN:
+            elapsed += now - self.opened_at
+        return elapsed
 
     def _maybe_half_open(self, now: float) -> None:
         if (self.state is BreakerState.OPEN
@@ -190,6 +201,13 @@ class ResilienceManager:
         """Current state per device (devices never attempted omitted)."""
         return {name: b.state.value for name, b in self._breakers.items()}
 
+    def breaker_open_seconds(self, now: float) -> Dict[str, float]:
+        """Time-spent-open per device (live view at time ``now``)."""
+        return {
+            name: breaker.open_elapsed_seconds(now)
+            for name, breaker in self._breakers.items()
+        }
+
     # -- placement hooks ---------------------------------------------------
 
     def available(self, device: str, now: float) -> bool:
@@ -221,6 +239,18 @@ class ResilienceManager:
         if self.config is None:
             return
         self.breaker(device).record_failure(now)
+
+    def backoff(self, env, attempt: int, qctx=None):
+        """DES generator: sleep one retry backoff, honouring cancellation.
+
+        A query cancelled while its operator sleeps between attempts
+        must not start the next attempt — the backoff aborts early by
+        raising :class:`~repro.engine.execution.lifecycle.QueryCancelled`
+        on wake-up (an interrupt mid-sleep surfaces on its own).
+        """
+        yield env.timeout(self.policy.backoff_seconds(attempt))
+        if qctx is not None:
+            qctx.check()
 
 
 __all__ = [

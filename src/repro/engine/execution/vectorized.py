@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Set
 
 from repro.engine.execution.context import ExecutionContext
+from repro.engine.execution.lifecycle import QueryCancelled
 from repro.engine.intermediates import OperatorResult
 from repro.engine.operators import (
     HashJoin,
@@ -44,7 +45,7 @@ from repro.engine.operators import (
 )
 from repro.hardware import DeviceFault
 from repro.hardware.processor import ProcessorKind
-from repro.sim import Process
+from repro.sim import Interrupted, Process
 
 
 def is_pipelineable(op: PhysicalOperator) -> bool:
@@ -123,13 +124,24 @@ class VectorizedExecutor:
 
     # -- public API ----------------------------------------------------
 
-    def submit(self, plan: PhysicalPlan) -> Process:
-        """Execute ``plan``; returns a process yielding the root result."""
-        return self.ctx.env.process(self._run_plan(plan))
+    def submit(self, plan: PhysicalPlan, qctx=None) -> Process:
+        """Execute ``plan``; returns a process yielding the root result.
+
+        With a ``qctx``
+        (:class:`~repro.engine.execution.lifecycle.QueryContext`) the
+        plan process registers for cooperative cancellation; a cancel
+        interrupts it and every device-located intermediate is
+        released.
+        """
+        process = self.ctx.env.process(self._run_plan(plan, qctx))
+        if qctx is not None:
+            process.defused = True
+            qctx.register(process)
+        return process
 
     # -- internals ----------------------------------------------------------
 
-    def _run_plan(self, plan: PhysicalPlan) -> Generator:
+    def _run_plan(self, plan: PhysicalPlan, qctx=None) -> Generator:
         results: Dict[int, OperatorResult] = {}
         pipelines = [Pipeline(chain) for chain in build_pipelines(plan)]
         # map each pipeline to the (later) pipeline consuming its output
@@ -138,24 +150,37 @@ class VectorizedExecutor:
             for op in pipeline.operators:
                 for child in op.children:
                     consumers[child.op_id] = pipeline
-        for pipeline in pipelines:
-            consumer = consumers.get(pipeline.terminal.op_id)
-            yield from self._run_pipeline(pipeline, results, consumer)
-        result = results[plan.root.op_id]
-        if result.location != "cpu":
-            yield from self.ctx.hardware.host_transfer(
-                result.nominal_bytes, "d2h", device=result.location
-            )
-            result.release_device_memory()
-            result.location = "cpu"
+        try:
+            for pipeline in pipelines:
+                if qctx is not None:
+                    qctx.check()
+                consumer = consumers.get(pipeline.terminal.op_id)
+                yield from self._run_pipeline(pipeline, results, consumer,
+                                              qctx)
+            result = results[plan.root.op_id]
+            if result.location != "cpu":
+                yield from self.ctx.hardware.host_transfer(
+                    result.nominal_bytes, "d2h", device=result.location
+                )
+                result.release_device_memory()
+                result.location = "cpu"
+        except (Interrupted, QueryCancelled):
+            # cancelled mid-plan: every device-located intermediate of
+            # this query must leave the heap before we unwind
+            for intermediate in results.values():
+                intermediate.release_device_memory()
+            raise
         return result
 
     def _device_for(self, pipeline: Pipeline,
                     results: Dict[int, OperatorResult],
                     result: OperatorResult,
-                    consumer: Optional[Pipeline]) -> Optional[str]:
+                    consumer: Optional[Pipeline],
+                    qctx=None) -> Optional[str]:
         """Device placement for a whole pipeline (None = CPU)."""
         ctx = self.ctx
+        if qctx is not None and qctx.force_cpu:
+            return None
         required = pipeline.required_columns()
         candidates = [
             device for device in ctx.hardware.gpus
@@ -192,7 +217,8 @@ class VectorizedExecutor:
 
     def _run_pipeline(self, pipeline: Pipeline,
                       results: Dict[int, OperatorResult],
-                      consumer: Optional[Pipeline] = None) -> Generator:
+                      consumer: Optional[Pipeline] = None,
+                      qctx=None) -> Generator:
         ctx = self.ctx
         env = ctx.env
         database = ctx.database
@@ -204,11 +230,12 @@ class VectorizedExecutor:
         # functional execution first (zero simulated time): run-time
         # placement sees exact input and output cardinalities
         result = self._materialise(pipeline, results)
-        device_name = self._device_for(pipeline, results, result, consumer)
+        device_name = self._device_for(pipeline, results, result, consumer,
+                                       qctx)
         placed = None
         if device_name is not None:
             placed = yield from self._attempt_device(
-                pipeline, results, result, device_name, start
+                pipeline, results, result, device_name, start, qctx
             )
         if placed is None:
             yield from self._run_on_cpu(pipeline, results, result)
@@ -262,7 +289,8 @@ class VectorizedExecutor:
     def _attempt_device(self, pipeline: Pipeline,
                         results: Dict[int, OperatorResult],
                         result: OperatorResult,
-                        device_name: str, start: float) -> Generator:
+                        device_name: str, start: float,
+                        qctx=None) -> Generator:
         """Run the pipeline on a device; None once it must go to CPU.
 
         Transient injected faults are retried with backoff under the
@@ -293,7 +321,8 @@ class VectorizedExecutor:
                 device=device_name, fault=outcome.fault_class,
                 query=pipeline.terminal.plan_name,
             )
-            yield env.timeout(resilience.policy.backoff_seconds(attempt))
+            # a cancelled query's backoff aborts early (QueryCancelled)
+            yield from resilience.backoff(env, attempt, qctx)
             attempt += 1
 
     def _attempt_device_once(self, pipeline: Pipeline,
@@ -319,6 +348,7 @@ class VectorizedExecutor:
             split = cpu_rate / (cpu_rate + gpu_rate)
 
         breaker = None
+        delivered = False
         transfers = None
         engine = ctx.hardware.copy_engine
         try:
@@ -353,10 +383,9 @@ class VectorizedExecutor:
                 ctx.metrics.record_operator("cpu", cpu_seconds * split)
             result.allocation = breaker
             result.location = device_name
+            delivered = True
             return result
         except DeviceFault as fault:
-            if breaker is not None:
-                breaker.free()
             ctx.metrics.record_abort(
                 env.now - start, query=pipeline.terminal.plan_name,
                 device=fault.device or device_name,
@@ -369,6 +398,11 @@ class VectorizedExecutor:
                     start, env.now, aborted=True, fault=fault.fault_class,
                 )
             return fault
+        finally:
+            # covers the fault path *and* a cancellation interrupt while
+            # blocked on the device — the heap never leaks either way
+            if breaker is not None and not delivered:
+                breaker.free()
 
     def _stream_vectors(self, device, stream_bytes: int,
                         compute_seconds: float) -> Generator:

@@ -75,11 +75,15 @@ class PCIeBus:
         injector = self.injector
         queued_at = self.env.now
         request = self._channel.request()
-        yield request
-        waited = self.env.now - queued_at
-        if waited > 0.0 and self.metrics is not None:
-            self.metrics.record_transfer_queueing(direction, waited)
+        # The request must already be covered by the release: an
+        # interrupt (query cancellation) delivered while this process
+        # waits for the channel would otherwise leak the granted slot
+        # and deadlock every later transfer.
         try:
+            yield request
+            waited = self.env.now - queued_at
+            if waited > 0.0 and self.metrics is not None:
+                self.metrics.record_transfer_queueing(direction, waited)
             wire_time = self.transfer_time(nbytes)
             if (injector is not None and device is not None
                     and injector.roll("pcie", device)):

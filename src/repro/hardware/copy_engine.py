@@ -222,7 +222,17 @@ class CopyEngine:
         except BaseException as error:
             if handle is not None:
                 self._inflight.pop((device, direction, key), None)
-                handle.event.fail(error)
+                if (handle.waiters > 0
+                        and not isinstance(error, PCIeTransferFault)):
+                    # The owning query was cancelled mid-copy.  Its
+                    # coalesced waiters belong to *other* queries and
+                    # must not inherit the cancellation: fail them with
+                    # a transfer fault so each retries the copy under
+                    # its own resilience policy.
+                    handle.event.fail(
+                        PCIeTransferFault(nbytes, direction, device=device))
+                else:
+                    handle.event.fail(error)
             raise
         else:
             if handle is not None:
@@ -276,10 +286,12 @@ class CopyEngine:
         channel = self.channel(device, direction)
         queued_at = self.env.now
         request = channel.request()
-        yield request
-        self._record_queueing(direction, queued_at)
-        start = self.env.now
+        # the channel-wait yield sits inside the try: an interrupt
+        # (query cancellation) while queued must not leak the slot
         try:
+            yield request
+            self._record_queueing(direction, queued_at)
+            start = self.env.now
             wire_time = self.transfer_time(nbytes)
             fraction = self._roll_fault(device, inject)
             if fraction is not None:
@@ -293,7 +305,23 @@ class CopyEngine:
                 self._trace_copy("copy", direction, device, None, start,
                                  aborted=True)
                 raise PCIeTransferFault(nbytes, direction, device=device)
-            yield self.env.timeout(wire_time)
+            wire_started = self.env.now
+            try:
+                yield self.env.timeout(wire_time)
+            except BaseException:
+                # Cancellation landed mid-copy: the wire time already
+                # burned is real occupancy, and the whole chunks that
+                # landed stay on the books (same accounting as a fault).
+                elapsed = self.env.now - wire_started
+                if wire_time > 0.0 and elapsed > 0.0:
+                    self._record_wire(
+                        direction,
+                        self._chunk_aligned_bytes(nbytes,
+                                                  elapsed / wire_time),
+                        elapsed, device)
+                    self._trace_copy("copy", direction, device, None,
+                                     start, aborted=True)
+                raise
             self._record_wire(direction, nbytes, wire_time, device)
             self._trace_copy("copy", direction, device, None, start)
         finally:
@@ -320,9 +348,9 @@ class CopyEngine:
         while done < total_chunks:
             queued_at = self.env.now
             request = channel.request()
-            yield request
-            self._record_queueing(direction, queued_at)
             try:
+                yield request
+                self._record_queueing(direction, queued_at)
                 while done < total_chunks:
                     if (fail_after is not None
                             and elapsed + per_chunk > fail_after):

@@ -891,3 +891,81 @@ def overlap_sweep(
             prefetch_hits=outcome.prefetch_hits,
         )
     return result
+
+
+# ---------------------------------------------------------------------------
+# Extension — overload-safe query lifecycle
+# ---------------------------------------------------------------------------
+
+def overload_sweep(
+    loads: Sequence[int] = (1, 2, 4, 8),
+    strategy: str = "chopping",
+    scale_factor: float = 10,
+    repetitions: int = 2,
+    max_inflight: int = 2,
+    overload_policy: str = "queue",
+    deadline_seconds: Optional[float] = None,
+    hedge_factor: Optional[float] = 3.0,
+    fault_rate: float = 0.02,
+    seed: int = 7,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
+    """Overload sweep: tail latency with the query lifecycle off vs. on.
+
+    Each load level (concurrent user sessions issuing the same fixed
+    SSB workload) runs twice: once with the lifecycle layer off — the
+    unbounded query stream the paper's executors accept — and once with
+    admission control (``max_inflight``/``overload_policy``), optional
+    per-query deadlines, and straggler hedging.  Faulted cells exercise
+    the interplay with the fault-injection layer: retry storms create
+    exactly the stragglers hedging is for.  Every cell validates its
+    results, so the table doubles as the cancellation-correctness gate.
+    """
+    from repro.engine.execution import LifecycleConfig
+    from repro.faults import FaultConfig
+
+    loads = _grid(loads)
+    repetitions = _reps(repetitions)
+    lifecycle = LifecycleConfig(
+        max_inflight=max_inflight,
+        overload_policy=overload_policy,
+        deadline_seconds=deadline_seconds,
+        hedge_factor=hedge_factor,
+    )
+    faults = (FaultConfig.uniform(fault_rate, seed=seed)
+              if fault_rate > 0 else None)
+    grid = [(n_users, on) for n_users in loads for on in (False, True)]
+    cells = [
+        Cell(
+            workload="ssb", scale_factor=scale_factor, strategy=strategy,
+            config=FULL_CONFIG, users=n_users, repetitions=repetitions,
+            faults=faults, lifecycle=(lifecycle if on else None),
+            validate=True,
+        )
+        for n_users, on in grid
+    ]
+    result = ExperimentResult(
+        "Extension: overload sweep ({}, SF {}, policy {})".format(
+            strategy, scale_factor, overload_policy
+        ),
+        notes="results validated in every cell; 'lifecycle' toggles "
+              "admission control, deadlines, and hedging",
+    )
+    for (n_users, on), outcome in zip(grid, run_cells(cells, jobs)):
+        result.add(
+            users=n_users,
+            lifecycle="on" if on else "off",
+            seconds=outcome.seconds,
+            p50_latency=outcome.p50_latency,
+            p99_latency=outcome.p99_latency,
+            completed=outcome.completed,
+            admission_waits=outcome.admission_waits,
+            admission_wait_seconds=outcome.admission_wait_seconds,
+            sheds=outcome.sheds,
+            degraded=outcome.degraded_to_cpu,
+            deadline_misses=outcome.deadline_misses,
+            cancelled=outcome.cancelled,
+            hedges=outcome.hedges,
+            hedge_wins=outcome.hedge_wins,
+        )
+    return result

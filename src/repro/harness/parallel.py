@@ -99,6 +99,9 @@ class Cell:
     #: deterministic fault injection: a FaultConfig (frozen, picklable)
     #: or a spec string; None runs fault-free
     faults: Optional[object] = None
+    #: query-lifecycle layer: a LifecycleConfig (frozen, picklable) or a
+    #: spec string; None runs with the layer off (zero overhead)
+    lifecycle: Optional[object] = None
     #: cross-check query results against the reference evaluator
     validate: bool = False
 
@@ -147,6 +150,20 @@ class CellOutcome:
     prefetch_hits: int = 0
     overlap_ratio: float = 0.0
     bus_utilization: float = 0.0
+    #: query-lifecycle accounting (all zero when the layer is off)
+    completed: int = 0
+    p50_latency: float = 0.0
+    p99_latency: float = 0.0
+    admission_waits: int = 0
+    admission_wait_seconds: float = 0.0
+    sheds: int = 0
+    degraded_to_cpu: int = 0
+    deadline_misses: int = 0
+    cancelled: int = 0
+    cancel_seconds: float = 0.0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_losses: int = 0
 
     def mean_latency(self, query_name: str) -> float:
         return self.latencies.get(query_name, 0.0)
@@ -201,6 +218,7 @@ def execute_cell(cell: Cell) -> CellOutcome:
         warm_cache=cell.warm_cache,
         placement_policy=cell.placement_policy,
         faults=cell.faults,
+        lifecycle=cell.lifecycle,
         validate=cell.validate,
     )
     metrics = run.metrics
@@ -231,6 +249,19 @@ def execute_cell(cell: Cell) -> CellOutcome:
         prefetch_hits=metrics.prefetch_hits,
         overlap_ratio=metrics.overlap_ratio,
         bus_utilization=metrics.bus_utilization,
+        completed=len(metrics.queries),
+        p50_latency=metrics.latency_percentile(0.50),
+        p99_latency=metrics.latency_percentile(0.99),
+        admission_waits=metrics.admission_waits,
+        admission_wait_seconds=metrics.admission_wait_seconds,
+        sheds=sum(metrics.sheds.values()),
+        degraded_to_cpu=sum(metrics.degraded_to_cpu.values()),
+        deadline_misses=sum(metrics.deadline_misses.values()),
+        cancelled=len(metrics.cancelled_queries),
+        cancel_seconds=metrics.cancel_seconds,
+        hedges=metrics.hedges_started,
+        hedge_wins=metrics.hedge_wins,
+        hedge_losses=metrics.hedge_losses,
     )
 
 

@@ -21,14 +21,19 @@ from repro.core import (
 )
 from repro.core.placement.base import PlacementStrategy
 from repro.engine.execution import (
+    AdmissionController,
     ExecutionContext,
+    LifecycleConfig,
+    QueryCancelled,
+    QueryContext,
     VectorizedExecutor,
+    deadline_watchdog,
     execute_functional,
     run_plan_eager,
 )
 from repro.hardware import HardwareSystem, SystemConfig
 from repro.metrics import ExecutionTrace, MetricsCollector
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Interrupted, Resource
 from repro.storage import Database
 from repro.workloads.base import WorkloadQuery
 
@@ -51,6 +56,9 @@ class WorkloadResult:
     fault_digest: Optional[str] = None
     #: injected fault counts per class
     fault_classes: Optional[Dict[str, int]] = None
+    #: True when the query-lifecycle layer (admission / deadlines /
+    #: hedging) was active for this run
+    lifecycle_enabled: bool = False
 
     @property
     def seconds(self) -> float:
@@ -75,6 +83,7 @@ def run_workload(
     validate: bool = False,
     algorithm_selection: bool = True,
     faults=None,
+    lifecycle=None,
 ) -> WorkloadResult:
     """Execute ``queries`` x ``repetitions`` with ``users`` parallel
     sessions under the named placement strategy.
@@ -90,6 +99,13 @@ def run_workload(
     :class:`~repro.faults.FaultConfig`, a spec string
     (``"pcie=0.01,seed=42"`` — see :meth:`FaultConfig.parse`), or None
     (the default, no injection and zero overhead).
+
+    ``lifecycle`` activates the overload-safe query lifecycle: a
+    :class:`~repro.engine.execution.lifecycle.LifecycleConfig`, a spec
+    string (``"max_inflight=4,policy=shed,deadline=0.5,hedge=3"`` — see
+    :meth:`LifecycleConfig.parse`), or None (the default — and a config
+    with every feature off is treated exactly like None, the
+    zero-overhead path).
     """
     from repro.faults import FaultConfig, FaultInjector
 
@@ -97,6 +113,9 @@ def run_workload(
         raise ValueError("users and repetitions must be >= 1")
     config = config if config is not None else SystemConfig()
     fault_config = FaultConfig.coerce(faults)
+    lifecycle_config = LifecycleConfig.coerce(lifecycle)
+    if lifecycle_config is not None and not lifecycle_config.enabled:
+        lifecycle_config = None
     env = Environment()
     metrics = MetricsCollector()
     hardware = HardwareSystem(env, config, metrics)
@@ -163,14 +182,78 @@ def run_workload(
         chopper = ChoppingExecutor(
             ctx, strategy_obj, cpu_workers=cpu_workers,
             gpu_workers=gpu_workers, scheduling=scheduling,
+            lifecycle=lifecycle_config,
         )
     admission = None
     if strategy_obj.admission_limit is not None:
         admission = Resource(env, capacity=strategy_obj.admission_limit)
+    controller = None
+    if lifecycle_config is not None and lifecycle_config.admission_enabled:
+        controller = AdmissionController(
+            env, hardware, lifecycle_config, metrics=metrics
+        )
 
     if validate:
         collect_results = True
     results: Dict[str, object] = {}
+
+    def run_query(user_id: int, query: WorkloadQuery, qctx):
+        """Plan + submit + await one query (shared by both paths)."""
+        plan_start = perf_counter()
+        plan = query.instantiate()
+        strategy_obj.prepare_plan(ctx, plan)
+        metrics.record_phase("plan", perf_counter() - plan_start)
+        if vectorizer is not None:
+            result = yield vectorizer.submit(plan, qctx)
+        elif chopper is not None:
+            result = yield chopper.submit(plan, qctx)
+        else:
+            result = yield run_plan_eager(ctx, plan, strategy_obj, qctx)
+        return result
+
+    def lifecycle_query(user_id: int, query: WorkloadQuery, start: float):
+        """One query under the lifecycle layer (admission / deadline)."""
+        qctx = QueryContext(
+            env, query.name, user=user_id, metrics=metrics,
+            deadline_seconds=lifecycle_config.deadline_seconds,
+        )
+        watchdog = None
+        if lifecycle_config.deadlines_enabled:
+            # starts before admission: queue time counts toward the
+            # deadline, so a query can be cancelled while still queued
+            watchdog = env.process(deadline_watchdog(qctx))
+            watchdog.defused = True
+        decision = "run"
+        if controller is not None:
+            decision = yield from controller.admit(qctx)
+        if decision in ("shed", "cancelled"):
+            if watchdog is not None and watchdog.is_alive:
+                watchdog.interrupt()
+            if decision == "cancelled":
+                metrics.record_cancelled_query(
+                    query.name, user_id, start, env.now,
+                    qctx.cancel_reason or "deadline",
+                )
+            return
+        if decision == "degrade":
+            qctx.force_cpu = True
+        try:
+            result = yield from run_query(user_id, query, qctx)
+        except (QueryCancelled, Interrupted):
+            result = None
+            metrics.record_cancelled_query(
+                query.name, user_id, start, env.now,
+                qctx.cancel_reason or "cancelled",
+            )
+        else:
+            metrics.record_query(query.name, user_id, start, env.now)
+        qctx.finish()
+        if watchdog is not None and watchdog.is_alive:
+            watchdog.interrupt()
+        if controller is not None:
+            controller.release()
+        if result is not None and collect_results:
+            results[query.name] = result.payload
 
     def session(user_id: int, runs: List[WorkloadQuery]):
         for query in runs:
@@ -181,16 +264,12 @@ def run_workload(
             if admission is not None:
                 request = admission.request()
                 yield request
-            plan_start = perf_counter()
-            plan = query.instantiate()
-            strategy_obj.prepare_plan(ctx, plan)
-            metrics.record_phase("plan", perf_counter() - plan_start)
-            if vectorizer is not None:
-                result = yield vectorizer.submit(plan)
-            elif chopper is not None:
-                result = yield chopper.submit(plan)
-            else:
-                result = yield run_plan_eager(ctx, plan, strategy_obj)
+            if lifecycle_config is not None:
+                yield from lifecycle_query(user_id, query, start)
+                if admission is not None:
+                    admission.release(request)
+                continue
+            result = yield from run_query(user_id, query, None)
             metrics.record_query(query.name, user_id, start, env.now)
             if admission is not None:
                 admission.release(request)
@@ -208,12 +287,12 @@ def run_workload(
         "des",
         perf_counter() - wall_start - metrics.phase_seconds.get("plan", 0.0),
     )
-    # Makespan ends with the last query, not with trailing background
-    # prefetch traffic that may still drain after it (identical to
-    # env.now when no prefetcher runs).
-    metrics.workload_seconds = max(
-        (query.end for query in metrics.queries), default=env.now
-    )
+    # Makespan ends with the last query (completed or cancelled), not
+    # with trailing background prefetch traffic that may still drain
+    # after it (identical to env.now when no prefetcher runs).
+    ends = [query.end for query in metrics.queries]
+    ends.extend(query.end for query in metrics.cancelled_queries)
+    metrics.workload_seconds = max(ends, default=env.now)
     if validate:
         wall_start = perf_counter()
         validate_results(database, queries, results)
@@ -224,6 +303,7 @@ def run_workload(
         faults_injected=injector.total_injected if injector else 0,
         fault_digest=injector.schedule_digest() if injector else None,
         fault_classes=dict(injector.injected) if injector else None,
+        lifecycle_enabled=lifecycle_config is not None,
     )
 
 

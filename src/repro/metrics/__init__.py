@@ -1,6 +1,16 @@
 """Measurement infrastructure for experiments."""
 
-from repro.metrics.collector import MetricsCollector, QueryRecord
+from repro.metrics.collector import (
+    CancelledQueryRecord,
+    MetricsCollector,
+    QueryRecord,
+)
 from repro.metrics.trace import ExecutionTrace, TraceEvent
 
-__all__ = ["ExecutionTrace", "MetricsCollector", "QueryRecord", "TraceEvent"]
+__all__ = [
+    "CancelledQueryRecord",
+    "ExecutionTrace",
+    "MetricsCollector",
+    "QueryRecord",
+    "TraceEvent",
+]

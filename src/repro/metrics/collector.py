@@ -50,6 +50,21 @@ class QueryRecord:
 
 
 @dataclass
+class CancelledQueryRecord:
+    """One query that was cancelled (deadline or explicit) mid-flight."""
+
+    name: str
+    user: int
+    start: float
+    end: float
+    reason: str = "cancelled"
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
 class MetricsCollector:
     """Accumulates measurements during one simulated workload run."""
 
@@ -110,6 +125,23 @@ class MetricsCollector:
     _pending_aborts: Counter = field(default_factory=Counter, repr=False)
     _pending_wasted: Dict[str, float] = field(default_factory=dict, repr=False)
     _pending_retries: Counter = field(default_factory=Counter, repr=False)
+    #: query-lifecycle accounting (admission control / deadlines /
+    #: hedging; all zero when the lifecycle layer is off)
+    admission_waits: int = 0
+    admission_wait_seconds: float = 0.0
+    admission_queue_peak: int = 0
+    sheds: Counter = field(default_factory=Counter)
+    degraded_to_cpu: Counter = field(default_factory=Counter)
+    deadline_misses: Counter = field(default_factory=Counter)
+    cancels: int = 0
+    cancel_seconds: float = 0.0
+    cancelled_queries: List[CancelledQueryRecord] = field(
+        default_factory=list
+    )
+    cancelled_task_skips: int = 0
+    hedges_started: int = 0
+    hedge_wins: int = 0
+    hedge_losses: int = 0
     #: makespan of the run (set by the harness)
     workload_seconds: float = 0.0
     #: *wall-clock* seconds per harness phase (plan / des / numpy /
@@ -234,6 +266,65 @@ class MetricsCollector:
             retries=self._pending_retries.pop(name, 0),
         ))
 
+    # -- query-lifecycle hooks ----------------------------------------
+
+    def record_admission_wait(self, name: str, seconds: float) -> None:
+        """Record one query admitted after queueing behind the gate."""
+        self.admission_waits += 1
+        self.admission_wait_seconds += seconds
+
+    def record_admission_queue_depth(self, depth: int) -> None:
+        """Track the deepest the admission queue ever got."""
+        if depth > self.admission_queue_peak:
+            self.admission_queue_peak = depth
+
+    def record_shed(self, name: str) -> None:
+        """Record one query rejected by the shed overload policy."""
+        self.sheds[name] += 1
+
+    def record_degraded(self, name: str) -> None:
+        """Record one query admitted under degrade-to-cpu."""
+        self.degraded_to_cpu[name] += 1
+
+    def record_deadline_miss(self, name: str) -> None:
+        """Record one query whose deadline elapsed before it finished."""
+        self.deadline_misses[name] += 1
+
+    def record_cancel(self, name: str, latency_seconds: float) -> None:
+        """Record one completed cancellation and its latency (cancel
+        request to the last in-flight worker fully stopped)."""
+        self.cancels += 1
+        self.cancel_seconds += latency_seconds
+
+    def record_cancelled_query(self, name: str, user: int, start: float,
+                               end: float, reason: str) -> None:
+        """Record a query that was cancelled instead of finishing;
+        drains the pending per-name fault attribution like
+        :meth:`record_query` so counts cannot leak onto a later run."""
+        self._pending_aborts.pop(name, 0)
+        self._pending_wasted.pop(name, 0.0)
+        self._pending_retries.pop(name, 0)
+        self.cancelled_queries.append(CancelledQueryRecord(
+            name=name, user=user, start=start, end=end, reason=reason,
+        ))
+
+    def record_cancelled_skip(self) -> None:
+        """Record a queued operator task skipped because its query was
+        cancelled before a worker picked it up."""
+        self.cancelled_task_skips += 1
+
+    def record_hedge_started(self) -> None:
+        """Record a straggling operator hedged onto the CPU pool."""
+        self.hedges_started += 1
+
+    def record_hedge_win(self) -> None:
+        """Record a hedge whose CPU copy finished first."""
+        self.hedge_wins += 1
+
+    def record_hedge_loss(self) -> None:
+        """Record a hedge whose original placement finished first."""
+        self.hedge_losses += 1
+
     def record_phase(self, phase: str, wall_seconds: float) -> None:
         """Accumulate wall-clock time into one harness phase bucket."""
         self.phase_seconds[phase] = (
@@ -346,19 +437,75 @@ class MetricsCollector:
             counts[new_state] += 1
         return dict(counts)
 
+    def breaker_open_seconds(
+        self, until: Optional[float] = None
+    ) -> Dict[str, float]:
+        """Simulated seconds each device's breaker spent OPEN.
+
+        Rebuilt from the transition log; an interval still open at the
+        end of the run is closed at ``until`` (default: the makespan,
+        or the last transition when no makespan was recorded yet).
+        Deadline-miss attribution uses this to distinguish
+        breaker-open waits from genuine stalls.
+        """
+        if until is None:
+            until = self.workload_seconds
+            if not until and self.breaker_transitions:
+                until = max(now for _, _, _, now in self.breaker_transitions)
+        open_since: Dict[str, float] = {}
+        totals: Dict[str, float] = {}
+        for device, _old, new_state, now in self.breaker_transitions:
+            if new_state == "open":
+                open_since.setdefault(device, now)
+            elif device in open_since:
+                totals[device] = (
+                    totals.get(device, 0.0) + now - open_since.pop(device)
+                )
+        for device, since in open_since.items():
+            totals[device] = (
+                totals.get(device, 0.0) + max(until - since, 0.0)
+            )
+        return totals
+
     def fault_summary(self) -> Dict[str, float]:
         """Fault/resilience view: observed fault aborts per class plus
         retry and breaker totals (all zero when injection is off)."""
+        open_seconds = self.breaker_open_seconds()
         summary: Dict[str, float] = {
             "fault_aborts": float(sum(self.faults.values())),
             "retries": float(self.retries),
             "breaker_skips": float(sum(self.breaker_skips.values())),
+            "breaker_open_seconds": sum(open_seconds.values()),
         }
         for fault_class, count in sorted(self.faults.items()):
             summary["fault_{}".format(fault_class)] = float(count)
         for state, count in sorted(self.breaker_transition_counts().items()):
             summary["breaker_to_{}".format(state)] = float(count)
+        for device, seconds in sorted(open_seconds.items()):
+            summary["breaker_open_seconds_{}".format(device)] = seconds
         return summary
+
+    def lifecycle_summary(self) -> Dict[str, float]:
+        """Query-lifecycle view: backpressure, deadline, cancel, and
+        hedging totals (all zero when the lifecycle layer is off)."""
+        return {
+            "admission_waits": float(self.admission_waits),
+            "admission_wait_seconds": self.admission_wait_seconds,
+            "admission_queue_peak": float(self.admission_queue_peak),
+            "shed_queries": float(sum(self.sheds.values())),
+            "degraded_queries": float(sum(self.degraded_to_cpu.values())),
+            "deadline_misses": float(sum(self.deadline_misses.values())),
+            "cancelled_queries": float(len(self.cancelled_queries)),
+            "cancels_drained": float(self.cancels),
+            "cancel_seconds": self.cancel_seconds,
+            "mean_cancel_latency": (
+                self.cancel_seconds / self.cancels if self.cancels else 0.0
+            ),
+            "cancelled_task_skips": float(self.cancelled_task_skips),
+            "hedges_started": float(self.hedges_started),
+            "hedge_wins": float(self.hedge_wins),
+            "hedge_losses": float(self.hedge_losses),
+        }
 
     def per_query_fault_report(self) -> Dict[str, Dict[str, float]]:
         """Aborts, wasted time, and retries aggregated per query name."""

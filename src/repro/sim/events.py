@@ -160,11 +160,17 @@ class Process(Event):
             raise RuntimeError("a process cannot interrupt itself")
         # Detach from the event currently waited on, then resume with
         # a failed one-shot event carrying the interrupt.
-        if self._target is not None and self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if not target.callbacks:
+                # The abandoned event has no waiter left; if it later
+                # fails (an injected fault, a stall timer) nobody will
+                # consume the failure, so it must not escalate.
+                target.defused = True
         wakeup = Event(self.env)
         wakeup.defused = True
         wakeup.fail(Interrupted(cause))
@@ -172,6 +178,13 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
+        if self._ok is not None:
+            # A stale wakeup: an interrupt raced the process finishing
+            # in the same timestep.  The process is done — consume the
+            # event so its failure cannot escalate, and drop it.
+            if not event._ok:
+                event.defused = True
+            return
         env = self.env
         generator = self._generator
         env._active_process = self

@@ -123,3 +123,17 @@ def test_databases_are_cached_and_deterministic():
         fresh.column("lineorder.lo_revenue").values,
         first.column("lineorder.lo_revenue").values,
     )
+
+
+def test_overload_sweep_rows_and_lifecycle_columns():
+    result = E.overload_sweep(
+        loads=(1, 4), scale_factor=5, repetitions=1, fault_rate=0.0
+    )
+    assert len(result.rows) == 4  # each load with the lifecycle off/on
+    assert {"users", "lifecycle", "p99_latency", "admission_waits",
+            "hedges", "cancelled"} <= columns_of(result)
+    by_state = {(row["users"], row["lifecycle"]) for row in result.rows}
+    assert by_state == {(1, "off"), (1, "on"), (4, "off"), (4, "on")}
+    for row in result.rows:
+        if row["lifecycle"] == "off":
+            assert row["admission_waits"] == 0
