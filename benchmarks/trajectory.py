@@ -6,7 +6,9 @@ name, smoke/full mode, pass/fail verdict, and the headline speedup
 figures found in each report — so a single CI step shows the perf
 trajectory of the whole stack at a glance.
 
-The exit code is nonzero iff any report's own gate verdict is false.
+The exit code is nonzero iff any report's own gate verdict is false,
+or a full-mode report records a parallel speedup below its target
+(default 1.0 — parallel execution must never lose to sequential).
 
 Run:  python benchmarks/trajectory.py [root]
 """
@@ -34,6 +36,27 @@ def _verdict(report: dict):
         if key in report:
             return bool(report[key]), key
     return None, ""
+
+
+def _parallel_regressions(node, path=""):
+    """``(dotted.path, speedup, target)`` for every parallel entry
+    whose measured speedup falls below its target (default 1.0 —
+    parallel execution must never lose to sequential)."""
+    found = []
+    if isinstance(node, dict):
+        speedup = node.get("speedup")
+        if "parallel" in path and isinstance(speedup, (int, float)):
+            target = float(node.get("target", 1.0))
+            if float(speedup) < target:
+                found.append((path, float(speedup), target))
+        for key in sorted(node):
+            where = "{}.{}".format(path, key) if path else key
+            found.extend(_parallel_regressions(node[key], where))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            found.extend(_parallel_regressions(
+                value, "{}[{}]".format(path, index)))
+    return found
 
 
 def _speedups(node, path=""):
@@ -69,6 +92,7 @@ def collect(root: str):
             "verdict": verdict,
             "verdict_key": verdict_key,
             "speedups": _speedups(report),
+            "parallel_regressions": _parallel_regressions(report),
         })
     return rows
 
@@ -112,6 +136,17 @@ def main(argv=None) -> int:
     print()
     print(render(rows))
     failed = [row["file"] for row in rows if row["verdict"] is False]
+    for row in rows:
+        for where, speedup, target in row["parallel_regressions"]:
+            print()
+            print("parallel regression in {}: {} = {:.3g}x "
+                  "(target {:.3g}x){}".format(
+                      row["file"], where, speedup, target,
+                      " [smoke run, not gated]"
+                      if row["mode"] == "smoke" else ""))
+            # smoke-mode machines are noisy; only full reports gate
+            if row["mode"] != "smoke" and row["file"] not in failed:
+                failed.append(row["file"])
     if failed:
         print()
         print("gate failures: {}".format(", ".join(failed)))

@@ -149,6 +149,8 @@ def cmd_run(args) -> int:
         gpu_memory_bytes=int(args.gpu_memory_gib * GIB),
         gpu_cache_bytes=int(args.gpu_cache_gib * GIB),
         copy_engine=args.copy_engine,
+        morsels=args.morsels,
+        morsel_rows=args.morsel_rows,
     )
     faults = _resolve_faults(args)
     lifecycle = _resolve_lifecycle(args)
@@ -183,6 +185,10 @@ def cmd_run(args) -> int:
             ) if on
         )))
         for key, value in run.metrics.lifecycle_summary().items():
+            print("    {:22s} {:.6g}".format(key, value))
+    if args.morsels:
+        print("  fused morsel execution:")
+        for key, value in run.metrics.morsel_summary().items():
             print("    {:22s} {:.6g}".format(key, value))
     print("  per-query mean latencies:")
     for name, latency in run.metrics.latencies_by_query().items():
@@ -276,6 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="asynchronous copy engine: per-device duplex "
                              "DMA channels, coalescing, and prefetch "
                              "(default: serialized single-channel bus)")
+    runner.add_argument("--morsels", action="store_true",
+                        help="fused morsel-driven execution: scan/join/"
+                             "aggregate chains run as per-morsel pipelines, "
+                             "byte-identical to the reference engine "
+                             "(default: operator-at-a-time)")
+    runner.add_argument("--morsel-rows", type=int, default=None,
+                        metavar="N",
+                        help="rows per morsel (default: $REPRO_MORSEL_ROWS "
+                             "or 65536)")
     runner.add_argument("--trace", action="store_true",
                         help="print the operator timeline")
     runner.add_argument("--faults", default=None, metavar="SPEC",

@@ -4,12 +4,22 @@ Runs the functional numpy implementations bottom-up with no hardware
 model.  This is the correctness backbone: integration tests compare
 its output (and the simulated executors' output) against the naive
 reference evaluator.
+
+When the fused morsel path (:mod:`repro.engine.morsel`) is enabled,
+execution happens in two steps: ``prepare_fused`` runs the plan's
+scan→join→aggregate chain as per-morsel pipelines and *records* the
+byte-identical result tuple of every covered operator into its memo;
+the ordinary post-order loop below then serves those memos, runs any
+unfused operators (tail sorts/limits, declined plans), and performs the
+same per-operator statistics bookkeeping either way.  With morsels
+disabled the only extra cost is one boolean check per plan.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+from repro.engine import morsel
 from repro.engine.intermediates import OperatorResult
 from repro.engine.operators import PhysicalOperator, PhysicalPlan
 from repro.storage import Database
@@ -17,6 +27,8 @@ from repro.storage import Database
 
 def execute_functional(plan: PhysicalPlan, database: Database) -> OperatorResult:
     """Execute ``plan`` immediately; returns the root result."""
+    if morsel.enabled():
+        morsel.prepare_fused(plan, database)
     results: Dict[int, OperatorResult] = {}
     statistics = database.statistics
     for op in plan.operators:  # post order: children first

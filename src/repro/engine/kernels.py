@@ -73,6 +73,9 @@ stats = {
     "blocks_short_circuited": 0,
     "masked_refines": 0,
     "masked_intersects": 0,
+    "lookup_builds": 0,
+    "lookup_hits": 0,
+    "bounds_builds": 0,
 }
 
 
@@ -147,6 +150,48 @@ def _build_join_index(values: np.ndarray) -> JoinIndex:
     return JoinIndex(order, values[order], None)
 
 
+#: A position lookup is only built when the key span is at most this
+#: factor of the column length (plus slack for small tables): sparse
+#: keys would waste memory for no probe-time gain over the sorted index.
+_LOOKUP_SPAN_FACTOR = 4
+_LOOKUP_SPAN_SLACK = 65536
+
+
+class PositionLookup:
+    """O(1) key→row-position table for a *unique* integer key column.
+
+    ``table[key - base]`` is the row position of ``key`` (or -1).  This
+    is the morsel pipeline's probe structure for non-dense primary keys
+    (e.g. ``d_datekey``): one gather per morsel instead of two
+    ``searchsorted`` passes.  Because every key is unique, the match
+    expansion it implies is byte-identical to the sorted-index path.
+    """
+
+    __slots__ = ("base", "table", "n_rows")
+
+    def __init__(self, base, table, n_rows):
+        self.base = base
+        self.table = table
+        self.n_rows = n_rows
+
+
+def _build_position_lookup(values: np.ndarray) -> Optional[PositionLookup]:
+    n = len(values)
+    if n == 0 or values.dtype.kind not in "iu":
+        return None
+    vmin = int(values.min())
+    vmax = int(values.max())
+    span = vmax - vmin + 1
+    if span > _LOOKUP_SPAN_FACTOR * n + _LOOKUP_SPAN_SLACK:
+        return None
+    table = np.full(span, -1, dtype=np.int64)
+    table[values.astype(np.int64) - vmin] = np.arange(n, dtype=np.int64)
+    if int(np.count_nonzero(table >= 0)) != n:
+        return None  # duplicate keys collided
+    stats["lookup_builds"] += 1
+    return PositionLookup(vmin, table, n)
+
+
 class KernelCache:
     """Per-database store of join indexes and zone maps.
 
@@ -162,6 +207,8 @@ class KernelCache:
         )
         self._join_indexes: Dict[str, JoinIndex] = {}
         self._zone_maps: Dict[str, ZoneMap] = {}
+        self._lookups: Dict[str, Tuple[int, Optional[PositionLookup]]] = {}
+        self._bounds: Dict[str, Tuple[int, Tuple[int, int]]] = {}
 
     def join_index(self, column) -> JoinIndex:
         index = self._join_indexes.get(column.key)
@@ -171,6 +218,37 @@ class KernelCache:
         index = _build_join_index(column.values)
         self._join_indexes[column.key] = index
         return index
+
+    def position_lookup(self, column) -> Optional[PositionLookup]:
+        """Unique-key position table for ``column``, or None when the
+        column has duplicates, is non-integer, or spans too wide a key
+        range.  A failed build is memoised so the scan runs once."""
+        entry = self._lookups.get(column.key)
+        n_col = len(column.values)
+        if entry is not None and entry[0] == n_col:
+            if entry[1] is not None:
+                stats["lookup_hits"] += 1
+            return entry[1]
+        lookup = _build_position_lookup(column.values)
+        self._lookups[column.key] = (n_col, lookup)
+        return lookup
+
+    def column_bounds(self, column) -> Optional[Tuple[int, int]]:
+        """Cached (min, max) of an integer column — the morsel
+        aggregator's group-id radix source.  None for empty or
+        non-integer columns."""
+        entry = self._bounds.get(column.key)
+        n_col = len(column.values)
+        if entry is not None and entry[0] == n_col:
+            return entry[1]
+        values = column.values
+        if n_col == 0 or values.dtype.kind not in "iu":
+            bounds = None
+        else:
+            stats["bounds_builds"] += 1
+            bounds = (int(values.min()), int(values.max()))
+        self._bounds[column.key] = (n_col, bounds)
+        return bounds
 
     def zone_map(self, column) -> ZoneMap:
         zone_map = self._zone_maps.get(column.key)
@@ -188,9 +266,16 @@ class KernelCache:
     def clear(self) -> None:
         self._join_indexes.clear()
         self._zone_maps.clear()
+        self._lookups.clear()
+        self._bounds.clear()
 
     def __len__(self) -> int:
-        return len(self._join_indexes) + len(self._zone_maps)
+        return (
+            len(self._join_indexes)
+            + len(self._zone_maps)
+            + len(self._lookups)
+            + len(self._bounds)
+        )
 
 
 def cache_for(database) -> Optional[KernelCache]:

@@ -57,6 +57,17 @@ def lookup(database, fingerprint) -> Optional[Tuple]:
     return cached
 
 
+def peek(database, fingerprint) -> Optional[Tuple]:
+    """Like :func:`lookup`, but without touching the hit/miss counters.
+
+    Used by the morsel layer's already-memoised check, which must not
+    distort the statistics the executor loop reports."""
+    if not _enabled or fingerprint is None:
+        return None
+    per_db = _cache.get(database)
+    return None if per_db is None else per_db.get(fingerprint)
+
+
 def store(database, fingerprint, cached: Tuple) -> None:
     """Memoise one result tuple under ``fingerprint``."""
     if not _enabled or fingerprint is None:

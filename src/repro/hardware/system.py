@@ -63,6 +63,13 @@ class SystemConfig:
     #: columns the prefetcher pulls per idle bus window (0 disables the
     #: prefetcher; only meaningful with the copy engine on)
     prefetch_depth: int = 2
+    #: fused morsel-driven functional execution (repro.engine.morsel):
+    #: scan→join→aggregate chains run as per-morsel pipelines over
+    #: cache-sized row ranges, byte-identical to the reference path.
+    #: Off by default — the operator-at-a-time engine is the baseline.
+    morsels: bool = False
+    #: rows per morsel (None = $REPRO_MORSEL_ROWS or the 64K default)
+    morsel_rows: Optional[int] = None
     #: cost calibration
     profile: EngineProfile = COGADB_PROFILE
 
@@ -77,6 +84,8 @@ class SystemConfig:
             raise ValueError("copy chunk size must be positive")
         if self.prefetch_depth < 0:
             raise ValueError("prefetch depth must be >= 0")
+        if self.morsel_rows is not None and self.morsel_rows < 1:
+            raise ValueError("morsel_rows must be >= 1")
 
     @property
     def gpu_heap_bytes(self) -> int:
@@ -95,6 +104,11 @@ class SystemConfig:
         """Copy of this config with the copy engine toggled (plus any
         engine knob overrides: chunk size, coalescing, prefetch depth)."""
         return replace(self, copy_engine=enabled, **overrides)
+
+    def with_morsels(self, enabled: bool = True,
+                     morsel_rows: Optional[int] = None) -> "SystemConfig":
+        """Copy of this config with fused morsel execution toggled."""
+        return replace(self, morsels=enabled, morsel_rows=morsel_rows)
 
 
 @dataclass

@@ -16,8 +16,19 @@ Guarantees:
 * **Amortised setup.**  Databases and workload query lists are cached
   per ``(workload, scale_factor, data_scale)`` in each process, so a
   worker builds SSB at scale factor 10 once no matter how many cells it
-  executes against it.  Under the default ``fork`` start method the
-  workers additionally inherit any database the parent already built.
+  executes against it.
+* **Zero-copy columns.**  Unless ``REPRO_SHM=0``, the parent exports
+  each grid's databases once via :mod:`repro.storage.shm` and workers
+  *attach* — mapping the same physical pages read-only instead of
+  regenerating (or pickling) gigabytes per process.
+
+:class:`MorselPool` adds **intra-query** parallelism on the same
+foundation: persistent workers attach the database from shared memory
+and execute fused morsel ranges (:mod:`repro.engine.morsel`), shipping
+one merged partial per worker chunk back to the parent, which merges
+partials at the pipeline breaker and applies the tail operators.
+Results are byte-identical to sequential execution; any worker failure
+or unfusable plan falls back to an in-process run.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.hardware import SystemConfig
 from repro.harness.runner import run_workload, workload_footprint_bytes
+from repro.storage import shm
 
 #: Cell workload names understood by :func:`_cell_workload`.
 WORKLOADS = ("ssb", "tpch", "micro_serial", "micro_parallel")
@@ -37,7 +49,16 @@ WORKLOADS = ("ssb", "tpch", "micro_serial", "micro_parallel")
 #: Environment variable consulted when no explicit jobs count is given.
 JOBS_ENV = "REPRO_JOBS"
 
+#: Set to "0" to disable shared-memory column export to workers.
+SHM_ENV = "REPRO_SHM"
+
 _default_jobs: Optional[int] = None
+
+
+def shm_enabled() -> bool:
+    """True when workers should attach databases from shared memory."""
+    return (os.environ.get(SHM_ENV, "").strip() != "0"
+            and shm.available())
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -169,6 +190,29 @@ class CellOutcome:
         return self.latencies.get(query_name, 0.0)
 
 
+#: (family, scale_factor, data_scale) -> ShmManifest; populated in
+#: worker processes by the pool initializer so ``_cell_workload``
+#: attaches shared columns instead of regenerating the dataset.
+_cell_manifests: Dict[Tuple, object] = {}
+
+
+def _database_family(workload: str) -> str:
+    """Which generated database a cell workload runs against."""
+    return "tpch" if workload == "tpch" else "ssb"
+
+
+def _default_data_scale() -> float:
+    from repro.harness import experiments as E
+    return E.DATA_SCALE
+
+
+def _shm_worker_init(manifests: Dict[Tuple, object]) -> None:
+    """Pool initializer: receive the parent's shared-column manifests."""
+    _cell_manifests.update(manifests)
+    # Fork-inherited parent databases would shadow the shared mappings.
+    _cell_workload.cache_clear()
+
+
 @functools.lru_cache(maxsize=64)
 def _cell_workload(workload: str, scale_factor: float,
                    data_scale: Optional[float],
@@ -180,17 +224,22 @@ def _cell_workload(workload: str, scale_factor: float,
 
     if data_scale is None:
         data_scale = E.DATA_SCALE
-    if workload == "tpch":
+    family = _database_family(workload)
+    manifest = _cell_manifests.get((family, scale_factor, data_scale))
+    if manifest is not None:
+        database = shm.attach_database(manifest)
+    elif family == "tpch":
         database = E.tpch_database(scale_factor, data_scale)
-        queries = tpch.workload(database)
     else:
         database = E.ssb_database(scale_factor, data_scale)
-        if workload == "ssb":
-            queries = ssb.workload(database)
-        elif workload == "micro_serial":
-            queries = micro.serial_selection_workload(database)
-        else:
-            queries = micro.parallel_selection_workload(database)
+    if workload == "tpch":
+        queries = tpch.workload(database)
+    elif workload == "ssb":
+        queries = ssb.workload(database)
+    elif workload == "micro_serial":
+        queries = micro.serial_selection_workload(database)
+    else:
+        queries = micro.parallel_selection_workload(database)
     if query_names is not None:
         wanted = set(query_names)
         queries = [q for q in queries if q.name in wanted]
@@ -279,5 +328,155 @@ def run_cells(cells: Iterable[Cell],
     if jobs <= 1 or len(cells) <= 1:
         return [execute_cell(cell) for cell in cells]
     workers = min(jobs, len(cells))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    initializer, initargs = None, ()
+    if shm_enabled():
+        manifests: Dict[Tuple, object] = {}
+        for cell in cells:
+            database, _ = _cell_workload(
+                cell.workload, cell.scale_factor, cell.data_scale, None
+            )
+            key = (_database_family(cell.workload), cell.scale_factor,
+                   cell.data_scale if cell.data_scale is not None
+                   else _default_data_scale())
+            if key not in manifests:
+                manifests[key] = shm.export_database(database)
+        initializer, initargs = _shm_worker_init, (manifests,)
+    with ProcessPoolExecutor(max_workers=workers, initializer=initializer,
+                             initargs=initargs) as pool:
         return list(pool.map(execute_cell, cells))
+
+
+# ---------------------------------------------------------------------------
+# Intra-query morsel pool
+# ---------------------------------------------------------------------------
+
+#: per-worker state for the morsel pool (set by the initializer)
+_pool_state: Dict[str, object] = {}
+
+
+def _morsel_worker_init(manifest, workload: str) -> None:
+    """Attach the shared database and build the workload's plans once."""
+    from repro.engine import kernels
+    from repro.workloads import ssb, tpch
+
+    kernels.enable(True)
+    database = shm.attach_database(manifest)
+    queries = {"ssb": ssb, "tpch": tpch}[workload].workload(database)
+    _pool_state["database"] = database
+    _pool_state["queries"] = {query.name: query for query in queries}
+    _pool_state["pipelines"] = {}
+
+
+def _morsel_chunk(name: str, start: int, stop: int):
+    """Worker task: fused execution of one chunk of fact-table rows."""
+    from repro.engine import morsel
+
+    pipelines = _pool_state["pipelines"]
+    pipe = pipelines.get(name)
+    if pipe is None:
+        query = _pool_state["queries"][name]
+        pipe = morsel.build(query.instantiate(), _pool_state["database"])
+        pipelines[name] = pipe
+    return pipe.run_chunk(start, stop)
+
+
+def _morsel_ping(token: int) -> int:
+    """Warm-up task: forces worker spawn (and the initializer's attach)."""
+    import time
+
+    time.sleep(0.01)
+    return token
+
+
+class MorselPool:
+    """Intra-query parallelism over shared-memory columns.
+
+    Persistent worker processes attach ``database`` from a shared
+    segment (one export, zero copies) and execute fused morsel ranges
+    (:mod:`repro.engine.morsel`).  Each worker merges its chunk's
+    partials locally and ships ONE picklable partial back; the parent
+    merges partials at the pipeline breaker, replays the nominal-row
+    arithmetic, and applies the tail operators.  Results are
+    byte-identical to sequential execution.
+
+    Queries whose plans decline fusion (or cannot reduce to partials)
+    and any worker failure fall back to an in-process run — the pool
+    can degrade but never wrongly answer.
+    """
+
+    def __init__(self, database, queries, workload: str = "ssb",
+                 jobs: Optional[int] = None):
+        if workload not in ("ssb", "tpch"):
+            raise ValueError("MorselPool supports 'ssb' and 'tpch'")
+        self.database = database
+        self.jobs = max(resolve_jobs(jobs), 1)
+        self._queries = {query.name: query for query in queries}
+        manifest = shm.export_database(database)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_morsel_worker_init,
+            initargs=(manifest, workload),
+        )
+        self.fallbacks = 0
+
+    def warm(self) -> None:
+        """Spin every worker up (attach + plan build) before timing."""
+        list(self._pool.map(_morsel_ping, range(self.jobs)))
+
+    def _run_fallback(self, query):
+        from repro.engine.execution.functional import execute_functional
+
+        self.fallbacks += 1
+        return execute_functional(query.instantiate(), self.database)
+
+    def run_query(self, name: str):
+        """Execute one workload query; returns its root OperatorResult."""
+        from repro.engine import morsel
+
+        query = self._queries[name]
+        plan = query.instantiate()
+        try:
+            pipe = morsel.build(plan, self.database)
+        except morsel.Decline:
+            pipe = None
+        if pipe is None or not pipe.supports_partials:
+            return self._run_fallback(query)
+        ranges = pipe.ranges()
+        per_chunk = -(-len(ranges) // self.jobs)
+        groups = [ranges[i:i + per_chunk]
+                  for i in range(0, len(ranges), per_chunk)]
+        try:
+            futures = [
+                self._pool.submit(_morsel_chunk, name,
+                                  group[0][0], group[-1][1])
+                for group in groups
+            ]
+            partials = [future.result() for future in futures]
+        except Exception:
+            # Worker crashed or declined: the parent recomputes alone.
+            return self._run_fallback(query)
+        acc = pipe.new_accumulator()
+        totals = None
+        for partial in sorted(partials, key=lambda p: p.index):
+            pipe.absorb(acc, partial)
+            totals = (partial.chain_counts if totals is None else
+                      tuple(a + b for a, b in
+                            zip(totals, partial.chain_counts)))
+        _, prev_nominal = pipe.replay_nominal(totals)
+        result = pipe.finalize(acc, prev_nominal)
+        return pipe.run_tail(result)
+
+    def run_queries(self, names: Optional[Sequence[str]] = None):
+        """Execute queries (all by default); name -> OperatorResult."""
+        if names is None:
+            names = list(self._queries)
+        return {name: self.run_query(name) for name in names}
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+    def __enter__(self) -> "MorselPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -272,12 +272,75 @@ def bus_accounting_section(scale_factor: float = 5,
     return lines
 
 
+def morsel_section(scale_factor: float = 5) -> List[str]:
+    """Markdown lines for the fused morsel-execution counters.
+
+    Runs one warm-cache SSB workload twice — the operator-at-a-time
+    reference engine and the fused morsel path — and renders the
+    fusion accounting recorded by
+    :meth:`MetricsCollector.morsel_summary`: queries fused, operators
+    folded into pipelines, morsels executed, partial-aggregate merges,
+    and declines.  Both runs produce byte-identical results; the
+    counters (and the warm-up wall clock) are what differ.
+    """
+    from repro.engine import plan_cache
+    from repro.harness.runner import run_workload
+    from repro.workloads import ssb
+
+    database = E.ssb_database(scale_factor)
+    rows = []
+    for label, fused in (("reference", False), ("fused morsels", True)):
+        # fresh plans and an empty plan cache per mode — results cached
+        # by the reference run would make the fused run skip fusion
+        plan_cache.invalidate(database)
+        queries = ssb.workload(database)
+        run = run_workload(
+            database, queries, "runtime",
+            config=E.FULL_CONFIG.with_morsels(fused),
+            users=1,
+        )
+        summary = run.metrics.morsel_summary()
+        rows.append((label, summary))
+    lines = [
+        "## Fused morsel execution (SSB SF {:g}, single user)".format(
+            scale_factor
+        ),
+        "",
+        "| Mode | Fused queries | Fused operators | Chain | Morsels "
+        "| Partial merges | Declined |",
+        "|------|---------------|-----------------|-------|---------"
+        "|----------------|----------|",
+    ]
+    for label, summary in rows:
+        lines.append(
+            "| {} | {:.0f} | {:.0f} | {:.1f} | {:.0f} | {:.0f} "
+            "| {:.0f} |".format(
+                label,
+                summary["fused_queries"],
+                summary["fused_operators"],
+                summary["fused_chain_length"],
+                summary["morsels_executed"],
+                summary["partial_merges"],
+                summary["declined_queries"],
+            )
+        )
+    lines.append("")
+    lines.append(
+        "Fused pipelines execute scan, join-probe, and aggregate "
+        "operators per morsel and merge partial aggregates at the "
+        "breaker; results stay byte-identical to the reference engine "
+        "(benchmarks/bench_morsels.py gates the speedup)."
+    )
+    return lines
+
+
 def generate_report(fast: bool = True) -> str:
     """Run the headline experiments and render the markdown report."""
     with _pinned_grids():
         data = _collect_measurements(fast=fast)
         fault_lines = fault_attribution_section()
         bus_lines = bus_accounting_section()
+        morsel_lines = morsel_section()
     lines = [
         "# Reproduction report (regenerated)",
         "",
@@ -301,4 +364,6 @@ def generate_report(fast: bool = True) -> str:
     lines.extend(fault_lines)
     lines.append("")
     lines.extend(bus_lines)
+    lines.append("")
+    lines.extend(morsel_lines)
     return "\n".join(lines)

@@ -135,8 +135,27 @@ def run_workload(
     # -- warm-up: statistics, functional memoisation, cache pre-load ----
     wall_start = perf_counter()
     database.statistics.reset()
-    for query in queries:
-        execute_functional(query.template_plan(), database)
+    if config.morsels:
+        # Fused morsel-driven functional execution (byte-identical to
+        # the plain path); counter deltas land in the metrics so the
+        # repro report can show fusion coverage next to kernel stats.
+        from repro.engine import morsel
+        from repro.storage import shm as shm_store
+
+        morsel_before = morsel.snapshot_stats()
+        shm_before = dict(shm_store.stats)
+        with morsel.active(config.morsel_rows):
+            for query in queries:
+                execute_functional(query.template_plan(), database)
+        metrics.record_morsel_stats(
+            {key: value - morsel_before[key]
+             for key, value in morsel.snapshot_stats().items()},
+            {key: value - shm_before[key]
+             for key, value in shm_store.stats.items()},
+        )
+    else:
+        for query in queries:
+            execute_functional(query.template_plan(), database)
     metrics.record_phase("numpy", perf_counter() - wall_start)
     placement = DataPlacementManager(
         database,

@@ -1,0 +1,293 @@
+"""Zero-copy database sharing via POSIX shared memory.
+
+``harness/parallel.py`` historically shipped work to worker processes
+by *pickling* — either whole databases (fork-inherited, then copied on
+write) or by regenerating the dataset per process.  Both make the
+"parallel" grid slower than sequential for any real data size.  This
+module exports a database's column arrays **once** into a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment and hands
+workers a small picklable :class:`ShmManifest`; attaching maps the
+segment and wraps read-only numpy views around the same physical pages
+— no copies, no pickling of array data, O(columns) attach time.
+
+Lifecycle:
+
+* :func:`export_database` lays out every column back-to-back in one
+  segment and returns the manifest.  Exports are memoised per database
+  object, registered with :mod:`repro.engine.caches` (so
+  ``clear_database_caches`` unlinks them), and unlinked at interpreter
+  exit as a fallback.
+* :func:`attach_database` (worker side) opens the segment by name and
+  rebuilds an equivalent :class:`~repro.storage.Database` whose column
+  ``values`` are read-only views into shared pages.  The attach is
+  unregistered from :mod:`multiprocessing.resource_tracker` so a worker
+  exiting cannot destroy a segment the parent still owns.
+* :func:`detach_all` closes a process's attachments (used by tests; a
+  worker exiting cleans up via the same atexit hook).
+
+Only the exporting process ever unlinks.  Dictionaries travel in the
+manifest (they are small python lists); per-column access statistics
+are *not* shared — each process records its own.
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+from weakref import WeakValueDictionary
+
+import numpy as np
+
+from repro.engine import caches
+from repro.storage.column import Column
+from repro.storage.database import Database
+from repro.storage.table import Table
+from repro.storage.types import ColumnType
+
+try:  # stdlib since 3.8; guarded for exotic platforms without shm
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+    resource_tracker = None
+
+_ALIGN = 64  # cache-line align every column within the segment
+
+#: export/attach accounting (surfaced by MetricsCollector)
+stats = {
+    "exports": 0,
+    "attaches": 0,
+    "exported_bytes": 0,
+    "attach_seconds": 0.0,
+}
+
+
+def reset_stats() -> None:
+    stats["exports"] = 0
+    stats["attaches"] = 0
+    stats["exported_bytes"] = 0
+    stats["attach_seconds"] = 0.0
+
+
+def available() -> bool:
+    """True when this platform supports shared-memory export."""
+    return shared_memory is not None
+
+
+def _tracker_pid() -> Optional[int]:
+    """Pid of this process's resource-tracker daemon (None if unknown)."""
+    if resource_tracker is None:
+        return None
+    return getattr(resource_tracker._resource_tracker, "_pid", None)
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Where one column lives inside the segment (picklable)."""
+
+    table: str
+    name: str
+    ctype: str  # ColumnType value
+    dtype: str
+    offset: int
+    rows: int
+    nominal_rows: int
+    dictionary: Optional[Tuple[str, ...]] = None
+    compression: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class ShmManifest:
+    """Everything a worker needs to reattach a database (picklable)."""
+
+    shm_name: str
+    database_name: str
+    total_bytes: int
+    #: pid of the exporting process's resource-tracker daemon; workers
+    #: that share it (fork) must NOT unregister the segment, workers
+    #: with their own tracker (spawn) must (see attach_database)
+    tracker_pid: Optional[int] = None
+    #: table name -> explicit nominal row count (None = unscaled)
+    table_nominal_rows: Dict[str, Optional[int]] = field(default_factory=dict)
+    columns: Tuple[ColumnSpec, ...] = ()
+
+
+class _Export:
+    """A live export: the owning segment plus its manifest."""
+
+    __slots__ = ("shm", "manifest")
+
+    def __init__(self, shm, manifest):
+        self.shm = shm
+        self.manifest = manifest
+
+    def unlink(self) -> None:
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except (FileNotFoundError, OSError):  # already gone
+            pass
+
+
+#: id(database) -> _Export; the WeakValueDictionary below notices when
+#: the database object itself dies so the id can be reclaimed safely.
+_exports: Dict[int, _Export] = {}
+_export_owners: "WeakValueDictionary[int, Database]" = WeakValueDictionary()
+
+#: segments this process has *attached* (worker side): name -> shm
+_attached: Dict[str, object] = {}
+
+
+def export_database(database: Database) -> ShmManifest:
+    """Export ``database``'s columns into one shared segment (memoised).
+
+    Returns the picklable manifest to hand to worker processes.
+    """
+    if shared_memory is None:
+        raise RuntimeError("shared memory is not available on this platform")
+    _reap_dead_exports()
+    export = _exports.get(id(database))
+    if export is not None:
+        return export.manifest
+
+    specs: List[ColumnSpec] = []
+    offset = 0
+    layout: List[Tuple[Column, int]] = []
+    for table in database.tables:
+        for column in table.columns:
+            offset = -(-offset // _ALIGN) * _ALIGN
+            layout.append((column, offset))
+            offset += column.values.nbytes
+    total = max(offset, 1)
+
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    for column, start in layout:
+        values = np.ascontiguousarray(column.values)
+        view = np.ndarray(values.shape, dtype=values.dtype,
+                          buffer=shm.buf, offset=start)
+        view[:] = values
+        specs.append(ColumnSpec(
+            table=column.table,
+            name=column.name,
+            ctype=column.ctype.value,
+            dtype=values.dtype.str,
+            offset=start,
+            rows=len(values),
+            nominal_rows=column.nominal_rows,
+            dictionary=(tuple(column.dictionary)
+                        if column.dictionary is not None else None),
+            compression=column.compression,
+        ))
+    manifest = ShmManifest(
+        shm_name=shm.name,
+        database_name=database.name,
+        total_bytes=total,
+        tracker_pid=_tracker_pid(),
+        table_nominal_rows={
+            table.name: table._nominal_rows for table in database.tables
+        },
+        columns=tuple(specs),
+    )
+    _exports[id(database)] = _Export(shm, manifest)
+    _export_owners[id(database)] = database
+    stats["exports"] += 1
+    stats["exported_bytes"] += total
+    return manifest
+
+
+def attach_database(manifest: ShmManifest) -> Database:
+    """Rebuild a database from ``manifest`` over shared pages.
+
+    Column arrays are read-only views into the segment — mutating
+    attached data is a bug, and numpy will raise on the attempt.
+    """
+    if shared_memory is None:
+        raise RuntimeError("shared memory is not available on this platform")
+    start = perf_counter()
+    shm = _attached.get(manifest.shm_name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=manifest.shm_name)
+        # Attaching registered the segment with *this* process's
+        # resource tracker (stdlib behaviour through 3.12), which would
+        # unlink it when this process exits.  Undo that — but only when
+        # the tracker is our own (spawn): under fork we share the
+        # exporter's tracker, where the duplicate registration deduped
+        # to a no-op and unregistering would strip the exporter's entry.
+        if (resource_tracker is not None
+                and _tracker_pid() != manifest.tracker_pid):
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals
+                pass
+        _attached[manifest.shm_name] = shm
+
+    database = Database(manifest.database_name)
+    tables: Dict[str, Table] = {}
+    for name, nominal in manifest.table_nominal_rows.items():
+        tables[name] = database.create_table(name, nominal_rows=nominal)
+    for spec in manifest.columns:
+        view = np.ndarray((spec.rows,), dtype=np.dtype(spec.dtype),
+                          buffer=shm.buf, offset=spec.offset)
+        view.flags.writeable = False
+        column = Column(
+            spec.table, spec.name, ColumnType(spec.ctype), view,
+            nominal_rows=spec.nominal_rows,
+            dictionary=(list(spec.dictionary)
+                        if spec.dictionary is not None else None),
+        )
+        column.compression = spec.compression
+        tables[spec.table]._attach(column)
+    stats["attaches"] += 1
+    stats["attach_seconds"] += perf_counter() - start
+    return database
+
+
+def detach_all() -> None:
+    """Close every segment this process attached (worker cleanup)."""
+    for shm in _attached.values():
+        try:
+            shm.close()
+        except (BufferError, OSError):  # views still alive: leave mapped
+            pass
+    _attached.clear()
+
+
+def _reap_dead_exports() -> None:
+    """Unlink exports whose owning database object has been collected."""
+    for key in list(_exports):
+        if key not in _export_owners:
+            _exports.pop(key).unlink()
+
+
+def invalidate(database: Optional[Database] = None) -> None:
+    """Unlink shared exports — all of them, or one database's.
+
+    Registered with :mod:`repro.engine.caches`, so
+    ``clear_database_caches`` tears shared segments down alongside every
+    other per-database cache.
+    """
+    if database is None:
+        for export in _exports.values():
+            export.unlink()
+        _exports.clear()
+        return
+    export = _exports.pop(id(database), None)
+    if export is not None:
+        export.unlink()
+    _reap_dead_exports()
+
+
+def export_count(database: Optional[Database] = None) -> int:
+    if database is not None:
+        return 1 if id(database) in _exports else 0
+    return len(_exports)
+
+
+caches.register("shm", invalidate, export_count)
+
+
+@atexit.register
+def _cleanup_at_exit() -> None:  # pragma: no cover - interpreter exit
+    invalidate()
+    detach_all()
