@@ -7,8 +7,12 @@ figures found in each report — so a single CI step shows the perf
 trajectory of the whole stack at a glance.
 
 The exit code is nonzero iff any report's own gate verdict is false,
-or a full-mode report records a parallel speedup below its target
-(default 1.0 — parallel execution must never lose to sequential).
+a full-mode report records a parallel speedup below its target
+(default 1.0 — parallel execution must never lose to sequential),
+any report records ``identical: false`` (result digests diverged from
+the sequential reference), or any report counts leaked shared-memory
+segments — correctness and hygiene regressions gate regardless of
+the report's own headline verdict.
 
 Run:  python benchmarks/trajectory.py [root]
 """
@@ -59,6 +63,30 @@ def _parallel_regressions(node, path=""):
     return found
 
 
+def _integrity_failures(node, path=""):
+    """``(dotted.path, kind, value)`` for every identity or shm-leak
+    violation anywhere in a report: an ``identical`` flag that is
+    false, or a ``leaked_segments`` count above zero."""
+    found = []
+    if isinstance(node, dict):
+        if node.get("identical") is False:
+            where = "{}.identical".format(path) if path else "identical"
+            found.append((where, "identity", False))
+        leaked = node.get("leaked_segments")
+        if isinstance(leaked, (int, float)) and leaked > 0:
+            where = ("{}.leaked_segments".format(path) if path
+                     else "leaked_segments")
+            found.append((where, "shm-leak", leaked))
+        for key in sorted(node):
+            child = "{}.{}".format(path, key) if path else key
+            found.extend(_integrity_failures(node[key], child))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            found.extend(_integrity_failures(
+                value, "{}[{}]".format(path, index)))
+    return found
+
+
 def _speedups(node, path=""):
     """Recursively collect ``(dotted.path, value)`` for speedup keys."""
     found = []
@@ -93,6 +121,7 @@ def collect(root: str):
             "verdict_key": verdict_key,
             "speedups": _speedups(report),
             "parallel_regressions": _parallel_regressions(report),
+            "integrity_failures": _integrity_failures(report),
         })
     return rows
 
@@ -146,6 +175,15 @@ def main(argv=None) -> int:
                       if row["mode"] == "smoke" else ""))
             # smoke-mode machines are noisy; only full reports gate
             if row["mode"] != "smoke" and row["file"] not in failed:
+                failed.append(row["file"])
+    for row in rows:
+        for where, kind, value in row["integrity_failures"]:
+            print()
+            print("{} violation in {}: {} = {}".format(
+                kind, row["file"], where, value))
+            # identity and shm hygiene gate even on smoke runs —
+            # determinism does not depend on machine speed
+            if row["file"] not in failed:
                 failed.append(row["file"])
     if failed:
         print()

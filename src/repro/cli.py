@@ -12,6 +12,9 @@ Commands
     print the measurement summary.
 ``query "<sql>" --benchmark ssb ...``
     Execute ad-hoc SQL against a generated benchmark database.
+``pool [--faults crash=0.1,...] [--jobs N]``
+    Chaos-soak the self-healing shared-memory morsel pool and report
+    byte identity, recovery counters, and the fault-schedule digest.
 ``strategies``
     List the available placement strategies.
 ``compress --benchmark ssb``
@@ -200,6 +203,63 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_pool(args) -> int:
+    """Chaos-soak the self-healing morsel pool and report identity."""
+    from repro.engine.execution import execute_functional
+    from repro.harness.parallel import MorselPool
+    from repro.storage import shm
+
+    if not shm.available():
+        print("shared memory is not available on this platform")
+        return 1
+    database = _database(args.benchmark, args.scale_factor, args.data_scale)
+    module = {"ssb": ssb, "tpch": tpch}[args.benchmark]
+    queries = module.workload(database)
+    reference = {
+        query.name: execute_functional(
+            query.instantiate(), database).payload.row_tuples()
+        for query in queries
+    }
+    faults = _resolve_faults(args)
+    start = time.time()
+    with MorselPool(database, queries, workload=args.benchmark,
+                    jobs=args.jobs, faults=faults,
+                    heartbeat_seconds=args.heartbeat,
+                    max_restarts=args.max_restarts) as pool:
+        pool.warm()
+        results = pool.run_queries()
+        elapsed = time.time() - start
+        identical = all(
+            results[name].payload.row_tuples() == reference[name]
+            for name in reference
+        )
+        print("pool: {} x{} jobs, {} queries in {:.2f}s".format(
+            args.benchmark, pool.jobs, len(queries), elapsed))
+        print("  byte-identical to sequential: {}".format(identical))
+        print("  fallbacks: {}  degraded: {}".format(
+            pool.fallbacks, pool.degraded or "no"))
+        for key in sorted(pool.counters):
+            print("  {:22s} {}".format(key, pool.counters[key]))
+        summary = pool.process_fault_summary()
+        if summary:
+            print("  process faults planned (seed {}):".format(faults.seed))
+            for name, count in sorted(summary.items()):
+                print("    {:20s} {}".format(name, count))
+            print("    schedule digest: {}".format(
+                pool.process_fault_digest))
+            for query, classes in sorted(
+                    pool.process_fault_report().items()):
+                print("    {:8s} {}".format(query, ", ".join(
+                    "{}={}".format(k, v)
+                    for k, v in sorted(classes.items()))))
+        if pool.orphans_reaped:
+            print("  orphaned segments reaped: {}".format(
+                pool.orphans_reaped))
+    leaked = shm.leaked_segments()
+    print("  leaked segments: {}".format(len(leaked)))
+    return 0 if identical and not leaked else 1
+
+
 def cmd_query(args) -> int:
     database = _database(args.benchmark, args.scale_factor, args.data_scale)
     queries = sql_workload(database, {"adhoc": args.sql})
@@ -316,6 +376,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "CPU once it exceeds K times its runtime "
                              "estimate (default: off)")
     runner.set_defaults(func=cmd_run)
+
+    pool = sub.add_parser(
+        "pool", help="chaos-soak the self-healing morsel pool"
+    )
+    pool.add_argument("--benchmark", choices=("ssb", "tpch"), default="ssb")
+    pool.add_argument("--scale-factor", type=float, default=1)
+    pool.add_argument("--data-scale", type=float, default=1e-2)
+    pool.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes (default: $REPRO_JOBS or "
+                           "cpu count)")
+    pool.add_argument("--faults", default=None, metavar="SPEC",
+                      help="process-fault spec, e.g. "
+                           "'crash=0.1,hang=0.05,seed=7' "
+                           "(classes: crash, hang, slowexit, unlinkrace)")
+    pool.add_argument("--heartbeat", type=float, default=None,
+                      metavar="SECONDS",
+                      help="hang-watchdog heartbeat deadline "
+                           "(default: 2.0 under chaos, off otherwise)")
+    pool.add_argument("--max-restarts", type=int, default=16, metavar="N",
+                      help="worker respawn budget before the pool "
+                           "degrades to sequential (default: 16)")
+    pool.set_defaults(func=cmd_pool)
 
     query = sub.add_parser("query", help="run ad-hoc SQL")
     query.add_argument("sql")

@@ -97,6 +97,7 @@ stats = {
     "sorted_probes": 0,
     "dense_aggregates": 0,
     "barrier_breakers": 0,
+    "compensated_merges": 0,
 }
 
 #: Why fusion declined, by reason (diagnostics; reset with the stats).
@@ -340,11 +341,14 @@ class _GroupTerm:
 
 
 class _AggTerm:
-    __slots__ = ("aggregate", "is_integer")
+    __slots__ = ("aggregate", "is_integer", "compensated")
 
-    def __init__(self, aggregate, is_integer):
+    def __init__(self, aggregate, is_integer, compensated=False):
         self.aggregate = aggregate
         self.is_integer = is_integer
+        #: float sum/avg merged with Neumaier compensation (pool path);
+        #: identity with the one-pass reference is gated at runtime
+        self.compensated = compensated
 
 
 class _DenseAggregate:
@@ -387,13 +391,15 @@ class MorselPartial:
 class _Accumulator:
     """Breaker-side merge state for one pooled execution."""
 
-    __slots__ = ("kind", "counts", "sums", "extrema", "chunks")
+    __slots__ = ("kind", "counts", "sums", "extrema", "comps", "chunks")
 
     def __init__(self, kind):
         self.kind = kind
         self.counts = None
         self.sums: Dict[str, np.ndarray] = {}
         self.extrema: Dict[str, np.ndarray] = {}
+        #: Neumaier compensation terms for float sum/avg aliases
+        self.comps: Dict[str, np.ndarray] = {}
         self.chunks: List[MorselPartial] = []
 
 
@@ -433,6 +439,13 @@ class FusedPipeline:
         """True when morsels reduce to small partials a pool can ship
         (dense aggregation or plain materialisation)."""
         return self.breaker_kind == "frame" or self.dense is not None
+
+    @property
+    def compensated(self) -> bool:
+        """True when any aggregate merges float partials with Neumaier
+        compensation — pooled results then need the byte-identity gate."""
+        return (self.dense is not None
+                and any(term.compensated for term in self.dense.aggs))
 
     def ranges(self) -> List[Tuple[int, int]]:
         rows = self.fact_rows
@@ -597,6 +610,8 @@ class FusedPipeline:
             aggregate = term.aggregate
             if aggregate.func in ("sum", "avg"):
                 acc.sums[aggregate.alias] = np.zeros(self.dense.domain)
+                if term.compensated:
+                    acc.comps[aggregate.alias] = np.zeros(self.dense.domain)
             elif aggregate.func == "min":
                 acc.extrema[aggregate.alias] = np.full(self.dense.domain,
                                                        np.inf)
@@ -623,7 +638,22 @@ class FusedPipeline:
                 continue
             shipped = partial.values[aggregate.alias]
             if aggregate.func in ("sum", "avg"):
-                acc.sums[aggregate.alias][present] += shipped
+                if term.compensated:
+                    # Neumaier: accumulate the rounding error of every
+                    # merge so finalisation can add it back in one step.
+                    stats["compensated_merges"] += 1
+                    target = acc.sums[aggregate.alias]
+                    old = target[present]
+                    merged = old + shipped
+                    lost = np.where(
+                        np.abs(old) >= np.abs(shipped),
+                        (old - merged) + shipped,
+                        (shipped - merged) + old,
+                    )
+                    acc.comps[aggregate.alias][present] += lost
+                    target[present] = merged
+                else:
+                    acc.sums[aggregate.alias][present] += shipped
             elif aggregate.func == "min":
                 target = acc.extrema[aggregate.alias]
                 target[present] = np.minimum(target[present], shipped)
@@ -638,7 +668,8 @@ class FusedPipeline:
         """Breaker result from merged partials (pooled executions)."""
         if acc.kind == "frame":
             return self._finalize_frame(acc, prev_nominal)
-        return self._finalize_aggregate(acc.counts, acc.sums, acc.extrema)
+        return self._finalize_aggregate(acc.counts, acc.sums, acc.extrema,
+                                        acc.comps)
 
     def _finalize_frame(self, acc: _Accumulator,
                         prev_nominal: int) -> OperatorResult:
@@ -700,10 +731,12 @@ class FusedPipeline:
                 extrema[aggregate.alias] = out
         return self._finalize_aggregate(counts, sums, extrema)
 
-    def _finalize_aggregate(self, counts, sums, extrema) -> OperatorResult:
+    def _finalize_aggregate(self, counts, sums, extrema,
+                            comps=None) -> OperatorResult:
         """Build the breaker frame from dense accumulators, replicating
         ``GroupByAggregate._aggregate``'s dtype and rounding rules."""
         dense = self.dense
+        comps = comps or {}
         stats["dense_aggregates"] += 1
         if dense.grouped:
             present = np.flatnonzero(counts)
@@ -724,6 +757,8 @@ class FusedPipeline:
                 continue
             if aggregate.func == "sum":
                 totals = sums[aggregate.alias][present]
+                if aggregate.alias in comps:
+                    totals = totals + comps[aggregate.alias][present]
                 if term.is_integer:
                     columns[aggregate.alias] = np.round(totals).astype(
                         np.int64
@@ -733,6 +768,8 @@ class FusedPipeline:
                 continue
             if aggregate.func == "avg":
                 totals = sums[aggregate.alias][present]
+                if aggregate.alias in comps:
+                    totals = totals + comps[aggregate.alias][present]
                 columns[aggregate.alias] = totals / np.maximum(
                     group_counts, 1
                 )
@@ -763,10 +800,16 @@ class FusedPipeline:
 
     # -- chunked execution (worker side of the morsel pool) ------------
 
-    def run_chunk(self, start: int, stop: int) -> MorselPartial:
+    def run_chunk(self, start: int, stop: int,
+                  progress=None) -> MorselPartial:
         """Run every morsel of fact rows ``[start, stop)`` and merge
         them locally into ONE picklable partial — the pool ships a
-        single message per worker chunk instead of one per morsel."""
+        single message per worker chunk instead of one per morsel.
+
+        ``progress`` (no-arg callable) fires after each morsel; pool
+        workers heartbeat through it so the parent's watchdog can tell
+        a slow chunk from a hung process.
+        """
         acc = self.new_accumulator()
         totals: Optional[Tuple[int, ...]] = None
         size = morsel_rows()
@@ -776,6 +819,8 @@ class FusedPipeline:
         for span_start, span_stop in spans:
             partial = self.run_morsel(span_start, span_stop,
                                       index=span_start, collect=True)
+            if progress is not None:
+                progress()
             self.absorb(acc, partial)
             totals = (partial.chain_counts if totals is None else
                       tuple(a + b for a, b in
@@ -803,7 +848,12 @@ class FusedPipeline:
             if aggregate.func == "count":
                 continue
             if aggregate.func in ("sum", "avg"):
-                values[aggregate.alias] = acc.sums[aggregate.alias][present]
+                shipped = acc.sums[aggregate.alias][present]
+                if aggregate.alias in acc.comps:
+                    # Collapse the chunk-local compensation into the
+                    # shipped value; the parent re-compensates merges.
+                    shipped = shipped + acc.comps[aggregate.alias][present]
+                values[aggregate.alias] = shipped
             else:
                 values[aggregate.alias] = (
                     acc.extrema[aggregate.alias][present]
@@ -1061,9 +1111,13 @@ def _prepare_dense_aggregate(pipe: FusedPipeline, cache) -> None:
             probe = probe.astype(np.int64)
         is_integer = bool(np.issubdtype(probe.dtype, np.integer))
         if aggregate.func in ("sum", "avg") and not is_integer:
-            # Float partial sums would reorder rounding across morsels;
-            # stay byte-identical by declining to the barrier.
-            return
+            if probe.dtype.kind not in "f":
+                return
+            # Float partial sums can reorder rounding across chunks;
+            # merge them with Neumaier compensation and let the pool's
+            # byte-identity gate decline queries where it still shows.
+            aggs.append(_AggTerm(aggregate, False, compensated=True))
+            continue
         if aggregate.func in ("min", "max") and probe.dtype.kind not in "iufb":
             return
         aggs.append(_AggTerm(aggregate, is_integer))

@@ -44,6 +44,11 @@ from typing import Callable, Dict, Optional, Union
 #: rate fields appear on :class:`FaultConfig`.
 FAULT_CLASSES = ("pcie", "kernel", "stall", "heap", "reset")
 
+#: Process-level fault classes injected into real OS worker processes
+#: (MorselPool).  Kept separate from the hardware classes above so a
+#: uniform hardware rate never implies killing workers, and vice versa.
+PROCESS_FAULT_CLASSES = ("crash", "hang", "slowexit", "unlinkrace")
+
 #: Environment variable consulted when the CLI gives no ``--faults``.
 FAULTS_ENV = "REPRO_FAULTS"
 
@@ -83,14 +88,34 @@ class FaultConfig:
     breaker_open_seconds: float = 0.25
     #: concurrent recovery probes admitted while half-open
     breaker_probes: int = 1
+    #: worker process killed with os._exit mid-chunk (per pool chunk)
+    crash: float = 0.0
+    #: worker stops heartbeating mid-chunk; the watchdog kills it
+    hang: float = 0.0
+    #: worker finishes its chunk, then exits instead of taking more work
+    slowexit: float = 0.0
+    #: worker unlinks the shared segment and dies, racing pool cleanup
+    unlinkrace: float = 0.0
+    #: consecutive executions of one chunk a crash directive survives;
+    #: 2 deterministically exercises poison-chunk quarantine
+    crash_repeats: int = 1
+    #: wall-clock seconds an injected hang sleeps (the watchdog should
+    #: kill the worker long before this elapses)
+    hang_seconds: float = 30.0
+    #: wall-clock seconds a slow-exiting worker lingers before dying
+    slowexit_seconds: float = 0.05
 
     def __post_init__(self):
-        for name in FAULT_CLASSES:
+        for name in FAULT_CLASSES + PROCESS_FAULT_CLASSES:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(
                     "fault rate {}={} outside [0, 1]".format(name, rate)
                 )
+        if self.crash_repeats < 1:
+            raise ValueError("crash_repeats must be >= 1")
+        if self.hang_seconds < 0 or self.slowexit_seconds < 0:
+            raise ValueError("process fault durations must be >= 0")
         if self.stall_seconds < 0:
             raise ValueError("stall_seconds must be >= 0")
         if self.max_retries < 0:
@@ -106,8 +131,15 @@ class FaultConfig:
 
     @classmethod
     def uniform(cls, rate: float, **overrides) -> "FaultConfig":
-        """One rate applied to every injectable fault class."""
+        """One rate applied to every *hardware* fault class."""
         values = {name: rate for name in FAULT_CLASSES}
+        values.update(overrides)
+        return cls(**values)
+
+    @classmethod
+    def uniform_process(cls, rate: float, **overrides) -> "FaultConfig":
+        """One rate applied to every *process* fault class."""
+        values = {name: rate for name in PROCESS_FAULT_CLASSES}
         values.update(overrides)
         return cls(**values)
 
@@ -124,7 +156,7 @@ class FaultConfig:
             raise ValueError("empty fault spec")
         valid = {f.name: f.type for f in fields(cls)}
         int_fields = {"seed", "max_retries", "breaker_threshold",
-                      "breaker_probes"}
+                      "breaker_probes", "crash_repeats"}
         values: Dict[str, Union[int, float]] = {}
         uniform_rate: Optional[float] = None
         for part in spec.split(","):
@@ -186,12 +218,23 @@ class FaultConfig:
 
     @property
     def enabled(self) -> bool:
-        """True when any fault class has a nonzero rate."""
+        """True when any hardware fault class has a nonzero rate."""
         return any(getattr(self, name) > 0.0 for name in FAULT_CLASSES)
 
+    @property
+    def process_enabled(self) -> bool:
+        """True when any process fault class has a nonzero rate."""
+        return any(getattr(self, name) > 0.0
+                   for name in PROCESS_FAULT_CLASSES)
+
     def rates(self) -> Dict[str, float]:
-        """Per-class injection rates (for reporting)."""
+        """Per-class hardware injection rates (for reporting)."""
         return {name: getattr(self, name) for name in FAULT_CLASSES}
+
+    def process_rates(self) -> Dict[str, float]:
+        """Per-class process injection rates (for reporting)."""
+        return {name: getattr(self, name)
+                for name in PROCESS_FAULT_CLASSES}
 
     def with_seed(self, seed: int) -> "FaultConfig":
         return replace(self, seed=int(seed))
@@ -270,9 +313,115 @@ class FaultInjector:
         return {name: count for name, count in sorted(self.injected.items())}
 
 
+@dataclass(frozen=True)
+class ProcessFaultDirective:
+    """One planned process fault, shipped to a worker with its chunk.
+
+    Picklable and self-contained: the worker hook needs no access to
+    the injector or config to act on it.
+    """
+
+    #: one of PROCESS_FAULT_CLASSES
+    kind: str
+    #: remaining executions of the chunk this directive applies to
+    #: (crash only; >1 kills the re-queued chunk again → quarantine)
+    repeats: int = 1
+    #: wall-clock duration (hang sleep / slow-exit linger)
+    seconds: float = 0.0
+
+    def decremented(self) -> "ProcessFaultDirective":
+        return replace(self, repeats=self.repeats - 1)
+
+
+class ProcessFaultInjector:
+    """Plans process faults per (query, chunk) — parent side.
+
+    Unlike :class:`FaultInjector`, whose rolls happen at simulated
+    injection sites inside the DES, process faults hit *real* OS
+    processes whose scheduling is nondeterministic.  Determinism is
+    recovered by planning: directives are rolled in the parent when a
+    query's chunks are enumerated (a fixed order), never at dispatch
+    time, so the schedule is a pure function of (seed, rates, query
+    sequence) regardless of which worker runs what when.  The digest
+    folds (class, query, chunk index) — no wall-clock time — so two
+    same-seed runs compare equal.
+    """
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+        self._streams: Dict[str, random.Random] = {
+            name: random.Random("{}:proc:{}".format(config.seed, name))
+            for name in PROCESS_FAULT_CLASSES
+        }
+        #: injected fault counts per class and per (class, query)
+        self.injected: Counter = Counter()
+        self.injected_by_query: Counter = Counter()
+        self._digest = hashlib.sha256()
+
+    def plan_chunk(self, query: str,
+                   chunk_index: int) -> Optional[ProcessFaultDirective]:
+        """Roll every class for one chunk; at most one directive wins.
+
+        Classes roll in PROCESS_FAULT_CLASSES order and the first hit
+        takes the chunk (later streams still advance, keeping each
+        class's schedule independent of the others' rates).
+        """
+        directive: Optional[ProcessFaultDirective] = None
+        for name in PROCESS_FAULT_CLASSES:
+            rate = getattr(self.config, name)
+            if rate <= 0.0:
+                continue
+            if self._streams[name].random() >= rate:
+                continue
+            if directive is not None:
+                continue
+            if name == "crash":
+                directive = ProcessFaultDirective(
+                    "crash", repeats=self.config.crash_repeats)
+            elif name == "hang":
+                directive = ProcessFaultDirective(
+                    "hang", seconds=self.config.hang_seconds)
+            elif name == "slowexit":
+                directive = ProcessFaultDirective(
+                    "slowexit", seconds=self.config.slowexit_seconds)
+            else:
+                directive = ProcessFaultDirective("unlinkrace")
+            self.injected[name] += 1
+            self.injected_by_query[(name, query)] += 1
+            self._digest.update(
+                "{}:{}:{};".format(name, query, chunk_index).encode()
+            )
+        return directive
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def schedule_digest(self) -> str:
+        """Order-sensitive fingerprint of every planned process fault
+        (class, query, chunk index) — the determinism gate."""
+        return self._digest.hexdigest()
+
+    def summary(self) -> Dict[str, int]:
+        """Planned fault counts per class (zero classes omitted)."""
+        return {name: count for name, count in sorted(self.injected.items())}
+
+    def report(self) -> Dict[str, Dict[str, int]]:
+        """Per-query fault report: query -> {class: count}."""
+        out: Dict[str, Dict[str, int]] = {}
+        for (name, query), count in sorted(self.injected_by_query.items()):
+            out.setdefault(query, {})[name] = count
+        return out
+
+
 __all__ = [
     "FAULT_CLASSES",
     "FAULTS_ENV",
+    "PROCESS_FAULT_CLASSES",
     "FaultConfig",
     "FaultInjector",
+    "ProcessFaultDirective",
+    "ProcessFaultInjector",
 ]

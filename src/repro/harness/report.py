@@ -334,6 +334,75 @@ def morsel_section(scale_factor: float = 5) -> List[str]:
     return lines
 
 
+def procfault_section(scale_factor: float = 1) -> List[str]:
+    """Markdown lines for the self-healing pool under process chaos.
+
+    Runs the SSB workload through a :class:`MorselPool` with a seeded
+    process-fault schedule (worker crashes, hangs, slow exits, and a
+    shm unlink race) and renders the recovery accounting: byte
+    identity against the sequential engine, restarts, requeues, and
+    the deterministic schedule digest.  Skipped (with a note) on
+    platforms without fork or shared memory.
+    """
+    import multiprocessing
+
+    from repro.engine.execution import execute_functional
+    from repro.faults import FaultConfig
+    from repro.harness.parallel import MorselPool
+    from repro.storage import shm
+    from repro.workloads import ssb
+
+    lines = ["## Process faults and the self-healing pool"]
+    if not (shm.available()
+            and "fork" in multiprocessing.get_all_start_methods()):
+        lines.extend(["", "(skipped: needs fork and shared memory)"])
+        return lines
+    database = E.ssb_database(scale_factor)
+    queries = ssb.workload(database)
+    reference = {
+        query.name: execute_functional(
+            query.instantiate(), database).payload.row_tuples()
+        for query in queries
+    }
+    faults = FaultConfig(crash=0.15, hang=0.08, slowexit=0.05,
+                         unlinkrace=0.05, hang_seconds=5.0, seed=2)
+    with MorselPool(database, queries, jobs=2, faults=faults,
+                    heartbeat_seconds=0.4) as pool:
+        pool.warm()
+        results = pool.run_queries()
+        identical = all(
+            results[name].payload.row_tuples() == reference[name]
+            for name in reference
+        )
+        summary = pool.process_fault_summary()
+        lines.extend([
+            "",
+            "| Planned faults | Identical | Restarts | Requeues "
+            "| Quarantines | Fallbacks | Leaked |",
+            "|----------------|-----------|----------|----------"
+            "|-------------|-----------|--------|",
+            "| {} | {} | {} | {} | {} | {} | {} |".format(
+                ", ".join("{}={}".format(k, v)
+                          for k, v in sorted(summary.items())) or "none",
+                "yes" if identical else "NO",
+                pool.counters["worker_restarts"],
+                pool.counters["chunk_requeues"],
+                pool.counters["chunk_quarantines"],
+                pool.fallbacks,
+                len(shm.leaked_segments()),
+            ),
+            "",
+            "Schedule digest (seed {}): `{}`".format(
+                faults.seed, pool.process_fault_digest),
+            "",
+            "Killed, hung, and unlink-raced workers are respawned "
+            "against the checksummed shared-memory export and their "
+            "chunks re-queued; results stay byte-identical "
+            "(benchmarks/bench_procfaults.py gates the chaos soak).",
+        ])
+    return lines
+
+
 def generate_report(fast: bool = True) -> str:
     """Run the headline experiments and render the markdown report."""
     with _pinned_grids():
@@ -341,6 +410,7 @@ def generate_report(fast: bool = True) -> str:
         fault_lines = fault_attribution_section()
         bus_lines = bus_accounting_section()
         morsel_lines = morsel_section()
+        procfault_lines = procfault_section()
     lines = [
         "# Reproduction report (regenerated)",
         "",
@@ -366,4 +436,6 @@ def generate_report(fast: bool = True) -> str:
     lines.extend(bus_lines)
     lines.append("")
     lines.extend(morsel_lines)
+    lines.append("")
+    lines.extend(procfault_lines)
     return "\n".join(lines)

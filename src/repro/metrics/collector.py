@@ -151,6 +151,28 @@ class MetricsCollector:
     declined_queries: int = 0
     shm_attach_seconds: float = 0.0
     shm_attaches: int = 0
+    #: self-healing morsel-pool accounting (harness.parallel.MorselPool;
+    #: all zero when no pool ran or no process faults fired)
+    worker_crashes: int = 0
+    worker_hangs: int = 0
+    heartbeat_misses: int = 0
+    worker_restarts: int = 0
+    worker_slow_exits: int = 0
+    worker_init_failures: int = 0
+    chunk_requeues: int = 0
+    chunk_quarantines: int = 0
+    pool_degrades: int = 0
+    pool_degrade_reason: Optional[str] = None
+    degraded_chunks: int = 0
+    pool_fallbacks: int = 0
+    float_gate_declines: int = 0
+    shm_reexports: int = 0
+    shm_integrity_failures: int = 0
+    shm_orphans_reaped: int = 0
+    #: planned process faults per class (crash/hang/slowexit/unlinkrace)
+    process_faults: Counter = field(default_factory=Counter)
+    #: order-sensitive digest of the planned process-fault schedule
+    process_fault_digest: Optional[str] = None
     #: makespan of the run (set by the harness)
     workload_seconds: float = 0.0
     #: *wall-clock* seconds per harness phase (plan / des / numpy /
@@ -567,4 +589,59 @@ class MetricsCollector:
             "declined_queries": float(self.declined_queries),
             "shm_attaches": float(self.shm_attaches),
             "shm_attach_seconds": self.shm_attach_seconds,
+        }
+
+    def record_pool(self, counters: Dict[str, int],
+                    process_faults: Optional[Dict[str, int]] = None,
+                    process_fault_digest: Optional[str] = None,
+                    degraded: Optional[str] = None,
+                    fallbacks: int = 0,
+                    orphans_reaped: int = 0) -> None:
+        """Absorb one MorselPool run's self-healing counters."""
+        self.worker_crashes += int(counters.get("worker_crashes", 0))
+        self.worker_hangs += int(counters.get("worker_hangs", 0))
+        self.heartbeat_misses += int(counters.get("heartbeat_misses", 0))
+        self.worker_restarts += int(counters.get("worker_restarts", 0))
+        self.worker_slow_exits += int(counters.get("worker_slow_exits", 0))
+        self.worker_init_failures += int(
+            counters.get("worker_init_failures", 0))
+        self.chunk_requeues += int(counters.get("chunk_requeues", 0))
+        self.chunk_quarantines += int(counters.get("chunk_quarantines", 0))
+        self.pool_degrades += int(counters.get("pool_degrades", 0))
+        self.degraded_chunks += int(counters.get("degraded_chunks", 0))
+        self.float_gate_declines += int(
+            counters.get("float_gate_declines", 0))
+        self.shm_reexports += int(counters.get("shm_reexports", 0))
+        self.shm_integrity_failures += int(
+            counters.get("shm_integrity_failures", 0))
+        self.pool_fallbacks += int(fallbacks)
+        self.shm_orphans_reaped += int(orphans_reaped)
+        if degraded is not None:
+            self.pool_degrade_reason = degraded
+        if process_faults:
+            self.process_faults.update(process_faults)
+        if process_fault_digest is not None:
+            self.process_fault_digest = process_fault_digest
+
+    def pool_summary(self) -> Dict[str, float]:
+        """Self-healing pool view: crash/hang recovery, quarantine, and
+        shm-integrity counters (all zero when no pool ran faulted)."""
+        return {
+            "worker_crashes": float(self.worker_crashes),
+            "worker_hangs": float(self.worker_hangs),
+            "heartbeat_misses": float(self.heartbeat_misses),
+            "worker_restarts": float(self.worker_restarts),
+            "worker_slow_exits": float(self.worker_slow_exits),
+            "worker_init_failures": float(self.worker_init_failures),
+            "chunk_requeues": float(self.chunk_requeues),
+            "chunk_quarantines": float(self.chunk_quarantines),
+            "pool_degrades": float(self.pool_degrades),
+            "degraded_chunks": float(self.degraded_chunks),
+            "pool_fallbacks": float(self.pool_fallbacks),
+            "float_gate_declines": float(self.float_gate_declines),
+            "shm_reexports": float(self.shm_reexports),
+            "shm_integrity_failures": float(self.shm_integrity_failures),
+            "shm_orphans_reaped": float(self.shm_orphans_reaped),
+            "process_faults_planned": float(sum(
+                self.process_faults.values())),
         }

@@ -33,9 +33,12 @@ are *not* shared — each process records its own.
 from __future__ import annotations
 
 import atexit
+import os
+import struct
+import zlib
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 from weakref import WeakValueDictionary
 
 import numpy as np
@@ -54,12 +57,30 @@ except ImportError:  # pragma: no cover
 
 _ALIGN = 64  # cache-line align every column within the segment
 
+#: fixed-size segment header: magic, epoch, payload bytes, creator pid.
+#: Validated on attach so a stale manifest (pointing at a recycled or
+#: re-exported segment) fails loudly instead of serving wrong bytes.
+_MAGIC = b"REPROSHM"
+_HEADER_FMT = "<8sQQQ"
+_HEADER_SIZE = _ALIGN  # struct needs 32 bytes; pad to one cache line
+
+#: segment names are self-describing (``repro-<pid>-<epoch>-<salt>``) so
+#: orphan reaping can tell whether the creating process is still alive
+#: without any side-channel registry.
+_NAME_PREFIX = "repro-"
+
+#: environment toggle for per-column checksum verification on attach
+VERIFY_ENV = "REPRO_SHM_VERIFY"
+
 #: export/attach accounting (surfaced by MetricsCollector)
 stats = {
     "exports": 0,
     "attaches": 0,
     "exported_bytes": 0,
     "attach_seconds": 0.0,
+    "integrity_failures": 0,
+    "verified_columns": 0,
+    "orphans_reaped": 0,
 }
 
 
@@ -68,6 +89,18 @@ def reset_stats() -> None:
     stats["attaches"] = 0
     stats["exported_bytes"] = 0
     stats["attach_seconds"] = 0.0
+    stats["integrity_failures"] = 0
+    stats["verified_columns"] = 0
+    stats["orphans_reaped"] = 0
+
+
+class ShmIntegrityError(RuntimeError):
+    """A segment failed header or checksum validation on attach."""
+
+
+def verify_enabled() -> bool:
+    """True unless ``REPRO_SHM_VERIFY=0`` disables checksum verification."""
+    return os.environ.get(VERIFY_ENV, "1") != "0"
 
 
 def available() -> bool:
@@ -95,6 +128,8 @@ class ColumnSpec:
     nominal_rows: int
     dictionary: Optional[Tuple[str, ...]] = None
     compression: Optional[object] = None
+    #: crc32 of the column's bytes at export time (0 = unchecked)
+    checksum: int = 0
 
 
 @dataclass(frozen=True)
@@ -108,6 +143,11 @@ class ShmManifest:
     #: that share it (fork) must NOT unregister the segment, workers
     #: with their own tracker (spawn) must (see attach_database)
     tracker_pid: Optional[int] = None
+    #: export generation; attach rejects a manifest whose epoch does
+    #: not match the segment header (stale-manifest detection)
+    epoch: int = 0
+    #: pid of the exporting process (orphan reaping probes it)
+    created_pid: int = 0
     #: table name -> explicit nominal row count (None = unscaled)
     table_nominal_rows: Dict[str, Optional[int]] = field(default_factory=dict)
     columns: Tuple[ColumnSpec, ...] = ()
@@ -128,6 +168,7 @@ class _Export:
             self.shm.unlink()
         except (FileNotFoundError, OSError):  # already gone
             pass
+        _created_names.discard(self.manifest.shm_name)
 
 
 #: id(database) -> _Export; the WeakValueDictionary below notices when
@@ -137,6 +178,86 @@ _export_owners: "WeakValueDictionary[int, Database]" = WeakValueDictionary()
 
 #: segments this process has *attached* (worker side): name -> shm
 _attached: Dict[str, object] = {}
+
+#: every segment name this process ever created and has not yet
+#: unlinked — the leak-check registry consulted by leaked_segments()
+_created_names: Set[str] = set()
+
+#: (name, epoch) pairs already checksum-verified in this process
+_verified: Set[Tuple[str, int]] = set()
+
+#: monotonically increasing export generation for this process
+_epoch = 0
+
+
+def _next_epoch() -> int:
+    global _epoch
+    _epoch += 1
+    return _epoch
+
+
+def _segment_path(name: str) -> str:
+    return os.path.join("/dev/shm", name.lstrip("/"))
+
+
+def segment_exists(name: str) -> bool:
+    """True when the named segment is still linked in the filesystem."""
+    return os.path.exists(_segment_path(name))
+
+
+def leaked_segments() -> List[str]:
+    """Segments this process created that outlive their export.
+
+    A name still on disk whose :class:`_Export` is gone was leaked —
+    e.g. an abnormal exit path skipped ``invalidate``.  Live exports
+    are not leaks.
+    """
+    live = {export.manifest.shm_name for export in _exports.values()}
+    return sorted(
+        name for name in _created_names
+        if name not in live and segment_exists(name)
+    )
+
+
+def reap_orphans() -> int:
+    """Unlink segments whose creating process is dead (pool startup).
+
+    Only names matching our ``repro-<pid>-...`` pattern are touched;
+    a pid that no longer exists (or that we cannot signal and is not
+    ours) marks the segment as orphaned.  Returns the reap count.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # non-Linux: nothing to scan
+        return 0
+    reaped = 0
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:  # pragma: no cover - scan denied
+        return 0
+    for name in names:
+        if not name.startswith(_NAME_PREFIX):
+            continue
+        parts = name.split("-")
+        try:
+            pid = int(parts[1])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid():
+            continue  # our own live exports are reaped via invalidate
+        try:
+            os.kill(pid, 0)
+            continue  # creator still alive
+        except ProcessLookupError:
+            pass  # creator is gone: orphan
+        except PermissionError:
+            continue  # alive, owned by someone else
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+            reaped += 1
+        except OSError:  # pragma: no cover - raced another reaper
+            continue
+    stats["orphans_reaped"] += reaped
+    return reaped
 
 
 def export_database(database: Database) -> ShmManifest:
@@ -152,16 +273,19 @@ def export_database(database: Database) -> ShmManifest:
         return export.manifest
 
     specs: List[ColumnSpec] = []
-    offset = 0
+    offset = _HEADER_SIZE
     layout: List[Tuple[Column, int]] = []
     for table in database.tables:
         for column in table.columns:
             offset = -(-offset // _ALIGN) * _ALIGN
             layout.append((column, offset))
             offset += column.values.nbytes
-    total = max(offset, 1)
+    total = offset
 
-    shm = shared_memory.SharedMemory(create=True, size=total)
+    epoch = _next_epoch()
+    shm = _create_segment(epoch, total)
+    struct.pack_into(_HEADER_FMT, shm.buf, 0,
+                     _MAGIC, epoch, total, os.getpid())
     for column, start in layout:
         values = np.ascontiguousarray(column.values)
         view = np.ndarray(values.shape, dtype=values.dtype,
@@ -178,12 +302,15 @@ def export_database(database: Database) -> ShmManifest:
             dictionary=(tuple(column.dictionary)
                         if column.dictionary is not None else None),
             compression=column.compression,
+            checksum=zlib.crc32(values.tobytes()),
         ))
     manifest = ShmManifest(
         shm_name=shm.name,
         database_name=database.name,
         total_bytes=total,
         tracker_pid=_tracker_pid(),
+        epoch=epoch,
+        created_pid=os.getpid(),
         table_nominal_rows={
             table.name: table._nominal_rows for table in database.tables
         },
@@ -191,9 +318,52 @@ def export_database(database: Database) -> ShmManifest:
     )
     _exports[id(database)] = _Export(shm, manifest)
     _export_owners[id(database)] = database
+    _created_names.add(shm.name)
     stats["exports"] += 1
     stats["exported_bytes"] += total
     return manifest
+
+
+def _create_segment(epoch: int, total: int):
+    """Create a self-describing named segment (retrying collisions)."""
+    for salt in range(1 << 16):
+        name = "{}{}-{}-{:x}".format(_NAME_PREFIX, os.getpid(), epoch, salt)
+        try:
+            return shared_memory.SharedMemory(
+                create=True, size=total, name=name)
+        except FileExistsError:
+            continue
+    raise RuntimeError("could not allocate a unique shm segment name")
+
+
+def _validate_segment(shm, manifest: ShmManifest) -> None:
+    """Header + per-column checksum validation (attach side)."""
+    if len(shm.buf) < _HEADER_SIZE:
+        raise ShmIntegrityError(
+            "segment {} too small for header".format(manifest.shm_name))
+    magic, epoch, total, _pid = struct.unpack_from(_HEADER_FMT, shm.buf, 0)
+    if magic != _MAGIC:
+        raise ShmIntegrityError(
+            "segment {} has bad magic {!r}".format(manifest.shm_name, magic))
+    if epoch != manifest.epoch or total != manifest.total_bytes:
+        raise ShmIntegrityError(
+            "stale manifest for {}: manifest epoch {} / {} bytes, segment "
+            "epoch {} / {} bytes".format(
+                manifest.shm_name, manifest.epoch, manifest.total_bytes,
+                epoch, total))
+    if not verify_enabled():
+        return
+    for spec in manifest.columns:
+        nbytes = np.dtype(spec.dtype).itemsize * spec.rows
+        actual = zlib.crc32(
+            bytes(shm.buf[spec.offset:spec.offset + nbytes]))
+        if actual != spec.checksum:
+            raise ShmIntegrityError(
+                "checksum mismatch for {}.{} in {}: expected {:#010x}, "
+                "got {:#010x}".format(spec.table, spec.name,
+                                      manifest.shm_name, spec.checksum,
+                                      actual))
+        stats["verified_columns"] += 1
 
 
 def attach_database(manifest: ShmManifest) -> Database:
@@ -221,6 +391,19 @@ def attach_database(manifest: ShmManifest) -> Database:
             except Exception:  # pragma: no cover - tracker internals
                 pass
         _attached[manifest.shm_name] = shm
+    key = (manifest.shm_name, manifest.epoch)
+    if key not in _verified:
+        try:
+            _validate_segment(shm, manifest)
+        except ShmIntegrityError:
+            stats["integrity_failures"] += 1
+            _attached.pop(manifest.shm_name, None)
+            try:
+                shm.close()
+            except (BufferError, OSError):  # pragma: no cover
+                pass
+            raise
+        _verified.add(key)
 
     database = Database(manifest.database_name)
     tables: Dict[str, Table] = {}
@@ -251,6 +434,17 @@ def detach_all() -> None:
         except (BufferError, OSError):  # views still alive: leave mapped
             pass
     _attached.clear()
+
+
+def forget_exports() -> None:
+    """Drop export bookkeeping inherited across fork — WITHOUT unlinking.
+
+    A forked worker inherits the parent's ``_exports`` registry; the
+    segments in it belong to the parent, so the worker must forget (not
+    unlink) them.  Called from worker initialisers.
+    """
+    _exports.clear()
+    _created_names.clear()
 
 
 def _reap_dead_exports() -> None:

@@ -26,8 +26,13 @@ def _bounded_experiment_caches():
     grid workers forked from one) never accumulate stale state."""
     yield
     from repro.harness.experiments import clear_database_caches
+    from repro.storage import shm
 
     clear_database_caches()
+    leaked = shm.leaked_segments()
+    assert not leaked, (
+        "shared-memory segments leaked past the test session: "
+        "{}".format(leaked))
 
 
 @pytest.fixture(scope="session")

@@ -241,6 +241,9 @@ def test_morsel_pool_matches_sequential():
 @pytest.mark.skipif(not (FORK_OK and shm.available()),
                     reason="needs fork + shared memory")
 def test_morsel_pool_falls_back_on_worker_failure():
+    """A worker-*reported* error (engine bug, mid-run decline) falls
+    back in-process; process deaths are self-healed, not fallen back."""
+    from repro.harness import parallel
     from repro.harness.parallel import MorselPool
 
     db = ssb.generate(scale_factor=0.01, data_scale=0.01, seed=12)
@@ -248,12 +251,40 @@ def test_morsel_pool_falls_back_on_worker_failure():
     reference = _batch(db, queries)
     try:
         with MorselPool(db, queries, workload="ssb", jobs=2) as pool:
-            def boom(*args, **kwargs):
-                raise RuntimeError("worker lost")
+            def boom(name, pipe, tasks):
+                raise parallel._PoolTaskError("worker lost")
 
-            pool._pool.submit = boom
+            pool._run_pooled = boom
             results = pool.run_queries()
             assert pool.fallbacks == len(queries)
+    finally:
+        shm.invalidate(db)
+    got = {name: result.payload.row_tuples()
+           for name, result in results.items()}
+    assert got == reference
+
+
+@pytest.mark.skipif(not (FORK_OK and shm.available()),
+                    reason="needs fork + shared memory")
+def test_morsel_pool_survives_worker_kill():
+    """SIGKILLing a live worker re-queues its chunks and respawns —
+    results stay byte-identical with ZERO fallbacks."""
+    import os
+    import signal
+
+    from repro.harness.parallel import MorselPool
+
+    db = ssb.generate(scale_factor=0.01, data_scale=0.02, seed=13)
+    queries = ssb.workload(db)
+    reference = _batch(db, queries)
+    try:
+        with MorselPool(db, queries, workload="ssb", jobs=2) as pool:
+            pool.warm()
+            os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+            results = pool.run_queries()
+            assert pool.fallbacks == 0
+            assert pool.degraded is None
+            assert pool.counters["worker_restarts"] >= 1
     finally:
         shm.invalidate(db)
     got = {name: result.payload.row_tuples()
