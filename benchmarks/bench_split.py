@@ -1,0 +1,334 @@
+"""Split-execution benchmark: intra-operator co-processing under
+heap pressure.
+
+Exercises ``repro.engine.execution.split`` end to end and gates the
+tentpole guarantees:
+
+* **heap-pressure speedup** — with a GPU heap too small for the
+  working sets, split execution beats the best *pure* placement
+  (cpu_only / gpu_only) on makespan by >= 1.15x: the GPU contributes
+  its heap-capped share instead of aborting, the CPU the rest;
+* **wasted work** — the same pressure drives PR 5 hedging to burn
+  redundant-copy time and the pure device path to abort mid-operator;
+  the split run wastes strictly less than hedging and aborts nothing;
+* **byte identity** — any fixed ratio in {0, 0.25, 0.5, 0.75, 1.0}
+  and any round count in {1, 2, 4, 7} produces result digests
+  identical to the pure run (spot-validated against the reference);
+* **zero overhead when disabled** — a disabled config reports an
+  all-zero split summary, and a run whose every split declines at the
+  ratio floor matches the pure makespan exactly;
+* **determinism** — two identical split runs agree on makespan,
+  digests, and every split counter;
+* **coupled-platform shift** — the ``SystemConfig.coupled_gpu``
+  preset (arXiv 1307.1955) moves the mean chosen ratio toward the GPU
+  versus the PCIe config on the full SSB suite.
+
+The exit code is nonzero iff any gate fails.  Writes ``BENCH_PR9.json``.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_split.py
+Or under pytest: PYTHONPATH=src python -m pytest benchmarks/bench_split.py
+
+``REPRO_FAST=1`` shrinks the sweep (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.engine.execution import LifecycleConfig  # noqa: E402
+from repro.harness import experiments as E  # noqa: E402
+from repro.harness.runner import run_workload  # noqa: E402
+from repro.hardware import SystemConfig  # noqa: E402
+from repro.hardware.calibration import GIB  # noqa: E402
+from repro.workloads import ssb  # noqa: E402
+
+FAST = os.environ.get("REPRO_FAST", "").strip() not in ("", "0")
+
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_PR9.json"
+)
+
+SIZES = {
+    "scale_factor": 5 if FAST else 10,
+    "repetitions": 1 if FAST else 2,
+    "ratios": (0.0, 0.5, 1.0) if FAST else (0.0, 0.25, 0.5, 0.75, 1.0),
+    "rounds": (1, 4) if FAST else (1, 2, 4, 7),
+}
+
+#: GPU heap too small for the SSB working sets at the chosen scale,
+#: cache large enough to keep the base columns warm: the pure device
+#: path aborts mid-operator, the split path caps its ratio and fits.
+PRESSURE = (
+    dict(gpu_memory_bytes=int(1.0 * GIB), gpu_cache_bytes=int(0.75 * GIB))
+    if FAST else
+    dict(gpu_memory_bytes=int(2.0 * GIB), gpu_cache_bytes=int(1.5 * GIB))
+)
+
+SEED = 9
+
+#: Makespan bound: the split run must beat the best pure placement by
+#: at least this factor under heap pressure.
+SPEEDUP_FLOOR = 1.15
+
+
+def _db():
+    return E.ssb_database(SIZES["scale_factor"])
+
+
+def _run(strategy, config, **kwargs):
+    database = _db()
+    kwargs.setdefault("repetitions", SIZES["repetitions"])
+    return run_workload(database, ssb.workload(database), strategy,
+                        config=config, **kwargs)
+
+
+def _digest_results(results) -> str:
+    payload = repr(sorted(
+        (name, tuple(table.row_tuples())) for name, table in results.items()
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _total_wasted(run) -> float:
+    metrics = run.metrics
+    return (metrics.wasted_seconds + metrics.split_wasted_seconds
+            + metrics.hedge_wasted_seconds)
+
+
+# ---------------------------------------------------------------------------
+# Gate 1: split beats both pure placements under heap pressure
+# ---------------------------------------------------------------------------
+
+def gate_heap_pressure_speedup():
+    config = SystemConfig(**PRESSURE)
+    pure_cpu = _run("cpu_only", config)
+    pure_gpu = _run("gpu_only", config)
+    split = _run("runtime", config.with_split(True))
+    best_pure = min(pure_cpu.seconds, pure_gpu.seconds)
+    speedup = best_pure / split.seconds if split.seconds else 0.0
+    summary = split.metrics.split_summary()
+    return {
+        "pure_cpu_seconds": pure_cpu.seconds,
+        "pure_gpu_seconds": pure_gpu.seconds,
+        "pure_gpu_aborts": pure_gpu.metrics.aborts,
+        "split_seconds": split.seconds,
+        "split_operators": summary["split_operators"],
+        "split_mean_chosen_ratio": summary["split_mean_chosen_ratio"],
+        "split_mean_realized_ratio": summary["split_mean_realized_ratio"],
+        "split_rebalances": summary["split_rebalances"],
+        "speedup_vs_best_pure": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "identical": (speedup >= SPEEDUP_FLOOR
+                      and summary["split_operators"] > 0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 2: split wastes less than hedging (and aborts nothing)
+# ---------------------------------------------------------------------------
+
+def gate_wasted_work():
+    config = SystemConfig(**PRESSURE)
+    split = _run("runtime", config.with_split(True))
+    unsplit = _run("runtime", config)
+    hedged = _run("chopping", config,
+                  lifecycle=LifecycleConfig(hedge_factor=1.5))
+    split_wasted = _total_wasted(split)
+    hedged_wasted = _total_wasted(hedged)
+    return {
+        "split_wasted_seconds": split_wasted,
+        "split_aborts": split.metrics.aborts,
+        "unsplit_wasted_seconds": _total_wasted(unsplit),
+        "unsplit_aborts": unsplit.metrics.aborts,
+        "hedges_started": hedged.metrics.hedges_started,
+        "hedged_wasted_seconds": hedged_wasted,
+        "identical": (split_wasted < hedged_wasted
+                      and hedged.metrics.hedges_started > 0
+                      and split.metrics.aborts <= unsplit.metrics.aborts),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 3: byte identity across ratios and round counts
+# ---------------------------------------------------------------------------
+
+def gate_identity():
+    config = SystemConfig(**PRESSURE)
+    pure = _run("runtime", config, collect_results=True)
+    baseline = _digest_results(pure.results)
+    sweeps = []
+    identical = True
+    for ratio in SIZES["ratios"]:
+        run = _run("runtime",
+                   config.with_split(True, split_ratio=ratio),
+                   collect_results=True, validate=(ratio == 0.5))
+        match = _digest_results(run.results) == baseline
+        identical = identical and match
+        sweeps.append({"split_ratio": ratio, "digest_match": match,
+                       "split_operators": run.metrics.split_operators})
+    for rounds in SIZES["rounds"]:
+        run = _run("runtime",
+                   config.with_split(True, split_rounds=rounds),
+                   collect_results=True)
+        match = _digest_results(run.results) == baseline
+        identical = identical and match
+        sweeps.append({"split_rounds": rounds, "digest_match": match,
+                       "split_operators": run.metrics.split_operators})
+    return {"sweeps": sweeps, "identical": identical}
+
+
+# ---------------------------------------------------------------------------
+# Gate 4: zero overhead when disabled (or fully declined)
+# ---------------------------------------------------------------------------
+
+def gate_zero_overhead():
+    config = SystemConfig(**PRESSURE)
+    pure = _run("runtime", config, collect_results=True)
+    summary_off = pure.metrics.split_summary()
+    all_zero = all(value == 0 for value in summary_off.values())
+    # split_ratio=0 declines every operator at the ratio floor before
+    # any simulated time passes: the timeline must match exactly
+    declined = _run("runtime", config.with_split(True, split_ratio=0.0),
+                    collect_results=True)
+    return {
+        "disabled_summary_all_zero": all_zero,
+        "pure_seconds": pure.seconds,
+        "declined_seconds": declined.seconds,
+        "declined_split_operators": declined.metrics.split_operators,
+        "floor_declines": declined.metrics.split_declines["ratio_floor"],
+        "identical": (
+            all_zero
+            and declined.metrics.split_operators == 0
+            and declined.metrics.split_declines["ratio_floor"] > 0
+            and declined.seconds == pure.seconds
+            and _digest_results(declined.results) == _digest_results(
+                pure.results)
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 5: determinism
+# ---------------------------------------------------------------------------
+
+def gate_determinism():
+    config = SystemConfig(**PRESSURE).with_split(True)
+    first = _run("runtime", config, collect_results=True)
+    second = _run("runtime", config, collect_results=True)
+    same_counters = (
+        first.metrics.split_operators == second.metrics.split_operators
+        and first.metrics.split_rebalances == second.metrics.split_rebalances
+        and first.metrics.split_degrades == second.metrics.split_degrades
+    )
+    return {
+        "first_seconds": first.seconds,
+        "second_seconds": second.seconds,
+        "split_operators": first.metrics.split_operators,
+        "identical": (
+            first.seconds == second.seconds
+            and _digest_results(first.results) == _digest_results(
+                second.results)
+            and same_counters
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 6: the coupled-GPU preset shifts the ratio toward the GPU
+# ---------------------------------------------------------------------------
+
+def gate_coupled_shift():
+    pcie = _run("runtime", SystemConfig(split=True))
+    coupled = _run("runtime", SystemConfig.coupled_gpu())
+    pcie_ratio = pcie.metrics.split_summary()["split_mean_chosen_ratio"]
+    coupled_ratio = coupled.metrics.split_summary()[
+        "split_mean_chosen_ratio"]
+    return {
+        "pcie_split_operators": pcie.metrics.split_operators,
+        "pcie_mean_chosen_ratio": pcie_ratio,
+        "coupled_split_operators": coupled.metrics.split_operators,
+        "coupled_mean_chosen_ratio": coupled_ratio,
+        "identical": (pcie.metrics.split_operators > 0
+                      and coupled.metrics.split_operators > 0
+                      and coupled_ratio > pcie_ratio),
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    print("split benchmark: SF {}, reps {}{}".format(
+        SIZES["scale_factor"], SIZES["repetitions"],
+        ", REPRO_FAST" if FAST else ""))
+    report = {
+        "benchmark": "split_execution",
+        "fast_mode": FAST,
+        "seed": SEED,
+        "pressure_config": {k: int(v) for k, v in PRESSURE.items()},
+        "gates": {},
+    }
+
+    speedup = gate_heap_pressure_speedup()
+    report["gates"]["heap_pressure_speedup"] = speedup
+    print("heap pressure:   identical={identical} "
+          "(split {split_seconds:.3f}s vs cpu {pure_cpu_seconds:.3f}s / "
+          "gpu {pure_gpu_seconds:.3f}s -> {speedup_vs_best_pure:.2f}x, "
+          "floor {speedup_floor}x, {split_operators} split ops)"
+          .format(**speedup))
+
+    wasted = gate_wasted_work()
+    report["gates"]["wasted_work"] = wasted
+    print("wasted work:     identical={identical} "
+          "(split {split_wasted_seconds:.3f}s / {split_aborts} aborts vs "
+          "hedging {hedged_wasted_seconds:.3f}s over {hedges_started} "
+          "hedges, unsplit {unsplit_aborts} aborts)".format(**wasted))
+
+    identity = gate_identity()
+    report["gates"]["identity"] = identity
+    print("identity:        identical={} ({} sweeps)".format(
+        identity["identical"], len(identity["sweeps"])))
+
+    zero = gate_zero_overhead()
+    report["gates"]["zero_overhead"] = zero
+    print("zero overhead:   identical={identical} "
+          "(declined {declined_seconds:.3f}s == pure {pure_seconds:.3f}s, "
+          "{floor_declines} floor declines)".format(**zero))
+
+    determinism = gate_determinism()
+    report["gates"]["determinism"] = determinism
+    print("determinism:     identical={identical} "
+          "({first_seconds:.3f}s == {second_seconds:.3f}s, "
+          "{split_operators} split ops)".format(**determinism))
+
+    coupled = gate_coupled_shift()
+    report["gates"]["coupled_shift"] = coupled
+    print("coupled shift:   identical={identical} "
+          "(ratio {pcie_mean_chosen_ratio:.3f} PCIe -> "
+          "{coupled_mean_chosen_ratio:.3f} coupled)".format(**coupled))
+
+    report["all_gates_pass"] = all(
+        gate["identical"] for gate in report["gates"].values()
+    )
+    with open(OUTPUT, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote {}".format(os.path.normpath(OUTPUT)))
+    return 0 if report["all_gates_pass"] else 1
+
+
+def test_split_gates():
+    """Pytest entry point: every split gate holds; the report is
+    written."""
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -147,14 +147,19 @@ def cmd_run(args) -> int:
     database = _database(args.benchmark, args.scale_factor, args.data_scale)
     module = {"ssb": ssb, "tpch": tpch}[args.benchmark]
     queries = module.workload(database)
-    config = SystemConfig(
+    config_kwargs = dict(
         gpu_count=args.gpus,
         gpu_memory_bytes=int(args.gpu_memory_gib * GIB),
         gpu_cache_bytes=int(args.gpu_cache_gib * GIB),
         copy_engine=args.copy_engine,
         morsels=args.morsels,
         morsel_rows=args.morsel_rows,
+        split=args.split or args.split_ratio is not None or args.coupled,
+        split_ratio=args.split_ratio,
+        split_rounds=args.split_rounds,
     )
+    config = (SystemConfig.coupled_gpu(**config_kwargs) if args.coupled
+              else SystemConfig(**config_kwargs))
     faults = _resolve_faults(args)
     lifecycle = _resolve_lifecycle(args)
     run = run_workload(
@@ -193,6 +198,14 @@ def cmd_run(args) -> int:
         print("  fused morsel execution:")
         for key, value in run.metrics.morsel_summary().items():
             print("    {:22s} {:.6g}".format(key, value))
+    if config.split:
+        print("  split execution{}:".format(
+            " (coupled GPU)" if config.coupled else ""))
+        for key, value in run.metrics.split_summary().items():
+            print("    {:26s} {:.6g}".format(key, value))
+        for reason, count in sorted(
+                run.metrics.split_declines.items()):
+            print("    declined[{}]: {}".format(reason, count))
     print("  per-query mean latencies:")
     for name, latency in run.metrics.latencies_by_query().items():
         print("    {:8s} {:.4f}s".format(name, latency))
@@ -351,6 +364,23 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="rows per morsel (default: $REPRO_MORSEL_ROWS "
                              "or 65536)")
+    runner.add_argument("--split", action="store_true",
+                        help="intra-operator co-processing: divide each "
+                             "eligible operator between the CPU and a GPU "
+                             "by a HyPE-chosen ratio, rebalanced "
+                             "mid-operator (default: off)")
+    runner.add_argument("--split-ratio", type=float, default=None,
+                        metavar="R",
+                        help="fixed GPU work fraction in [0, 1] for split "
+                             "execution (default: cost-model chosen); "
+                             "implies --split")
+    runner.add_argument("--split-rounds", type=int, default=4, metavar="N",
+                        help="rebalancing rounds per split operator "
+                             "(default: 4)")
+    runner.add_argument("--coupled", action="store_true",
+                        help="coupled/integrated-GPU preset per arXiv "
+                             "1307.1955: shared physical memory, no PCIe "
+                             "staging cost; implies --split")
     runner.add_argument("--trace", action="store_true",
                         help="print the operator timeline")
     runner.add_argument("--faults", default=None, metavar="SPEC",

@@ -233,6 +233,7 @@ class ChoppingExecutor:
             qctx.register(proc)
         if race is not None:
             race.procs[name] = proc
+        started = ctx.env.now
         try:
             result = yield proc
         except (Interrupted, QueryCancelled):
@@ -240,7 +241,10 @@ class ChoppingExecutor:
         ctx.load.finish(name, estimate)
         if race is not None:
             if race.done:
-                # lost the race: the winner already notified the parent
+                # lost the race: the winner already notified the parent;
+                # everything this copy executed was hedging's wasted work
+                if race.hedged:
+                    ctx.metrics.record_hedge_wasted(ctx.env.now - started)
                 if result is not None:
                     result.release_device_memory()
                 return

@@ -25,7 +25,7 @@ from repro.core.placement.compile_time import (
 )
 from repro.core.placement.critical_path import CriticalPath
 from repro.core.placement.data_driven import DataDrivenCompile, DataDrivenRuntime
-from repro.core.placement.runtime import RuntimeHype
+from repro.core.placement.runtime import RuntimeHype, SplitHype
 
 _REGISTRY = {
     "cpu_only": CpuOnly,
@@ -39,6 +39,7 @@ _REGISTRY = {
         executor="chopping", name="data_driven_chopping"
     ),
     "admission_control": AdmissionControlGpu,
+    "split": SplitHype,
 }
 
 #: Canonical strategy names, in the order the paper's figures use.
@@ -51,6 +52,7 @@ STRATEGY_NAMES = (
     "chopping",
     "data_driven_chopping",
     "admission_control",
+    "split",
 )
 
 
@@ -76,6 +78,7 @@ __all__ = [
     "GpuPreferred",
     "PlacementStrategy",
     "RuntimeHype",
+    "SplitHype",
     "STRATEGY_NAMES",
     "get_strategy",
 ]

@@ -56,6 +56,14 @@ class PlacementStrategy:
             return "cpu"
         return op.placement or "cpu"
 
+    def ratio_hint(self, ctx: ExecutionContext, op: PhysicalOperator,
+                   device) -> Optional[float]:
+        """Strategy-specific GPU work-fraction hint for split execution
+        (:mod:`repro.engine.execution.split`), blended into the split
+        cost model's ratio.  None means no opinion — the default for
+        strategies with no data-placement knowledge."""
+        return None
+
     def __repr__(self) -> str:
         return "<strategy {}>".format(getattr(self, "name", "?"))
 

@@ -86,6 +86,28 @@ class DataDrivenCompile(PlacementStrategy):
             device = _eligible_device(ctx, op, child_locations)
             op.placement = device if device is not None else "cpu"
 
+    def ratio_hint(self, ctx, op, device):
+        return _cached_fraction(ctx, op, device)
+
+
+def _cached_fraction(ctx, op, device) -> Optional[float]:
+    """Fraction of the operator's required column bytes resident in
+    ``device``'s cache — the data-driven split-ratio hint: work should
+    flow to where the data already lives."""
+    required = sorted(op.required_columns())
+    if not required:
+        return None
+    total = 0
+    resident = 0
+    for key in required:
+        nbytes = ctx.database.column(key).nominal_bytes
+        total += nbytes
+        if key in device.cache:
+            resident += nbytes
+    if total == 0:
+        return None
+    return resident / total
+
 
 class DataDrivenRuntime(PlacementStrategy):
     """The data-driven rule applied at run time (used by *Data-Driven
@@ -106,3 +128,6 @@ class DataDrivenRuntime(PlacementStrategy):
         ]
         device = _eligible_device(ctx, op, child_locations)
         return device if device is not None else "cpu"
+
+    def ratio_hint(self, ctx, op, device):
+        return _cached_fraction(ctx, op, device)

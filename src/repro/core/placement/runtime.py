@@ -21,6 +21,10 @@ class RuntimeHype(PlacementStrategy):
     def choose_processor(self, ctx, op, child_results) -> str:
         if op.cpu_only:
             return "cpu"
+        # re-snapshot the breaker penalties: a breaker that opened (or
+        # half-opened) since the last placement must show up in the
+        # load estimates this decision reads
+        ctx.load.refresh()
         footprint = op.device_footprint_bytes(
             ctx.profile, ctx.database, child_results
         )
@@ -76,3 +80,74 @@ class RuntimeHype(PlacementStrategy):
         transfer *= 1 + ctx.bus.queue_length
         load = ctx.load.estimated_completion(name)
         return execution + transfer + load
+
+
+class SplitHype(RuntimeHype):
+    """Run-time placement for intra-operator split execution.
+
+    Identical cost-based choice to :class:`RuntimeHype`, with one
+    relaxation: a device whose free heap covers only *part* of the
+    operator's footprint stays a candidate, because the split executor
+    (:mod:`repro.engine.execution.split`) can ship exactly the
+    fraction that fits and stream the rest on the CPU.  The estimated
+    device cost models the split: both sides run concurrently, so the
+    operator finishes when the slower side does.
+    """
+
+    name = "split"
+
+    #: a device must fit at least this fraction of the footprint to be
+    #: worth splitting onto (mirrors split.MIN_SHARE)
+    MIN_SHARE = 0.05
+
+    def choose_processor(self, ctx, op, child_results) -> str:
+        if op.cpu_only:
+            return "cpu"
+        ctx.load.refresh()
+        footprint = op.device_footprint_bytes(
+            ctx.profile, ctx.database, child_results
+        )
+        input_bytes = op.input_nominal_bytes(ctx.database, child_results)
+        best_name = "cpu"
+        best_cost = self._estimated_cost(ctx, op, child_results, "cpu",
+                                         input_bytes, None)
+        for device in ctx.hardware.gpus:
+            capacity = (device.heap.available / footprint
+                        if footprint > 0 else 1.0)
+            if capacity < self.MIN_SHARE:
+                continue  # not even a split share fits right now
+            if not ctx.resilience.available(device.name, ctx.env.now):
+                continue
+            cost = self._split_cost(ctx, op, child_results, device,
+                                    input_bytes, min(capacity, 1.0))
+            if cost < best_cost:
+                best_cost = cost
+                best_name = device.name
+        return best_name
+
+    def _split_cost(self, ctx, op, child_results, device, input_bytes,
+                    capacity):
+        """Estimated makespan of splitting ``op`` onto ``device``."""
+        t_cpu = ctx.cost_model.estimate(
+            op.kind, processor_kind("cpu"), input_bytes)
+        t_gpu = ctx.cost_model.estimate(
+            op.kind, processor_kind(device.name), input_bytes)
+        transfer = 0.0
+        if not ctx.hardware.config.coupled:
+            for key in op.required_columns():
+                if key not in device.cache:
+                    column = ctx.database.column(key)
+                    transfer += ctx.bus.transfer_time(column.nominal_bytes)
+            for child in child_results:
+                if child.location != device.name:
+                    transfer += ctx.bus.transfer_time(child.nominal_bytes)
+            transfer *= 1 + ctx.bus.queue_length
+        from repro.hype.models import SplitCostModel
+
+        ratio = min(SplitCostModel.balance(t_cpu, t_gpu, transfer),
+                    capacity)
+        makespan = max(ratio * (t_gpu + transfer),
+                       (1.0 - ratio) * t_cpu)
+        load = max(ctx.load.estimated_completion("cpu"),
+                   ctx.load.estimated_completion(device.name))
+        return makespan + load

@@ -9,6 +9,8 @@
 * The overload-safe query lifecycle (admission control, deadlines with
   cooperative cancellation, straggler hedging) lives in
   :mod:`repro.engine.execution.lifecycle`.
+* Intra-operator CPU/GPU co-processing (ratio-split execution) lives
+  in :mod:`repro.engine.execution.split`.
 """
 
 from repro.engine.execution.functional import execute_functional
@@ -28,6 +30,7 @@ from repro.engine.execution.resilience import (
     ResilienceManager,
     RetryPolicy,
 )
+from repro.engine.execution.split import SplitState
 from repro.engine.execution.vectorized import VectorizedExecutor
 
 __all__ = [
@@ -40,6 +43,7 @@ __all__ = [
     "QueryContext",
     "ResilienceManager",
     "RetryPolicy",
+    "SplitState",
     "VectorizedExecutor",
     "deadline_watchdog",
     "execute_functional",

@@ -40,6 +40,10 @@ class ExecutionContext:
         #: optional per-operator timeline (set to an ExecutionTrace to
         #: record one; see repro.metrics.trace)
         self.trace = None
+        #: intra-operator split execution state (a
+        #: :class:`~repro.engine.execution.split.SplitState`); None when
+        #: the layer is off, so disabled runs pay one ``is not None``
+        self.split = None
         #: HyPE algorithm selection (disable to always run the default
         #: bulk algorithm; see benchmarks/bench_ablation_algorithms.py)
         self.algorithm_selection = True

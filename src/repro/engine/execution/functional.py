@@ -11,8 +11,10 @@ scan→join→aggregate chain as per-morsel pipelines and *records* the
 byte-identical result tuple of every covered operator into its memo;
 the ordinary post-order loop below then serves those memos, runs any
 unfused operators (tail sorts/limits, declined plans), and performs the
-same per-operator statistics bookkeeping either way.  With morsels
-disabled the only extra cost is one boolean check per plan.
+same per-operator statistics bookkeeping either way.  ``Limit``-rooted
+materialisations short-circuit through ``execute_direct`` instead,
+which stops scanning morsels once enough rows are gathered.  With
+morsels disabled the only extra cost is one boolean check per plan.
 """
 
 from __future__ import annotations
@@ -27,10 +29,18 @@ from repro.storage import Database
 
 def execute_functional(plan: PhysicalPlan, database: Database) -> OperatorResult:
     """Execute ``plan`` immediately; returns the root result."""
+    statistics = database.statistics
     if morsel.enabled():
+        direct = morsel.execute_direct(plan, database)
+        if direct is not None:
+            # Limit-rooted plan served with cross-chunk early
+            # termination; replay the per-operator access bookkeeping
+            # the post-order loop below would have performed.
+            for op in plan.operators:
+                statistics.record_accesses(sorted(op.required_columns()))
+            return direct
         morsel.prepare_fused(plan, database)
     results: Dict[int, OperatorResult] = {}
-    statistics = database.statistics
     for op in plan.operators:  # post order: children first
         child_results = [results[c.op_id] for c in op.children]
         results[op.op_id] = op.produce(database, child_results)

@@ -72,10 +72,17 @@ def execute_operator(
     result: Optional[OperatorResult] = None
     if processor_name != "cpu" and not op.cpu_only:
         device = ctx.hardware.device(processor_name)
-        result = yield from _try_gpu_with_recovery(
-            ctx, device, op, child_results, input_bytes, admit_to_cache,
-            qctx,
-        )
+        if ctx.split is not None:
+            # intra-operator co-processing: divide the operator between
+            # the CPU and this device; None = declined, run pure
+            result = yield from ctx.split.try_split(
+                ctx, device, op, child_results, input_bytes, qctx,
+            )
+        if result is None:
+            result = yield from _try_gpu_with_recovery(
+                ctx, device, op, child_results, input_bytes,
+                admit_to_cache, qctx,
+            )
     if result is None:
         if qctx is not None:
             qctx.check()

@@ -341,11 +341,19 @@ class VectorizedExecutor:
 
         split = 0.0  # fraction of vectors handled by the host
         if self.allow_split and gpu_seconds > 0:
-            # balance completion: the host takes the share that makes
-            # both sides finish together
-            gpu_rate = 1.0 / gpu_seconds
-            cpu_rate = 1.0 / cpu_seconds if cpu_seconds > 0 else 0.0
-            split = cpu_rate / (cpu_rate + gpu_rate)
+            if ctx.split is not None:
+                # the split cost model's balance point: accounts for
+                # the PCIe stream (zero on a coupled platform) and any
+                # fixed --split-ratio override
+                split = ctx.split.vector_ratio(
+                    ctx, cpu_seconds, gpu_seconds, stream_bytes
+                )
+            else:
+                # balance completion: the host takes the share that
+                # makes both sides finish together
+                gpu_rate = 1.0 / gpu_seconds
+                cpu_rate = 1.0 / cpu_seconds if cpu_seconds > 0 else 0.0
+                split = cpu_rate / (cpu_rate + gpu_rate)
 
         breaker = None
         delivered = False

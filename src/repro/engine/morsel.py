@@ -98,6 +98,9 @@ stats = {
     "dense_aggregates": 0,
     "barrier_breakers": 0,
     "compensated_merges": 0,
+    "limit_fused_queries": 0,
+    "limit_early_stops": 0,
+    "limit_rows_skipped": 0,
 }
 
 #: Why fusion declined, by reason (diagnostics; reset with the stats).
@@ -1139,6 +1142,80 @@ def build(plan, database) -> FusedPipeline:
     if pipe.breaker_kind == "agg":
         _prepare_dense_aggregate(pipe, cache)
     return pipe
+
+
+def execute_direct(plan, database) -> Optional[OperatorResult]:
+    """Serve a ``Limit``-rooted plan straight from the fused chain with
+    cross-chunk early termination, or return None.
+
+    Eligible plans have a materialising breaker whose only tail
+    operator is the root ``Limit``: morsels are consumed in ascending
+    fact order, and once the merged frame holds ``n`` rows the
+    remaining ranges never run.  Identity with the reference path is
+    structural: the processed prefix's concatenation equals the full
+    run's first rows (ascending chunk merge), and ``Limit``'s nominal
+    count is ``min(child_nominal, n)`` — when the scan stops early the
+    gathered rows already reach ``n`` and ``scaled_nominal_rows`` keeps
+    every chain nominal at or above its actual count, so both the
+    partial and the full child nominal clamp to ``n``.  Aggregating
+    breakers (every input row matters) and extra tail operators (a
+    ``Sort`` below the ``Limit`` needs all rows) are declined,
+    reason-counted under ``limit_*``.
+
+    The served result is **never memoised**: the covered operators'
+    memos would hold prefix-only intermediates, poisoning later plans
+    that share the chain.
+    """
+    root = plan.root
+    if not isinstance(root, Limit):
+        return None
+    try:
+        if root.n <= 0:
+            raise Decline("limit_nonpositive")
+        if (root._cached_result is not None
+                or plan_cache.peek(database, root.fingerprint())
+                is not None):
+            # the ordinary path serves the memo for free — and the
+            # direct path must never shadow recorded full results
+            raise Decline("limit_memoised")
+        pipe = build(plan, database)
+        if pipe.breaker_kind != "frame":
+            raise Decline("limit_breaker")
+        if pipe.tail != [root]:
+            raise Decline("limit_tail")
+        acc = pipe.new_accumulator()
+        totals: Optional[Tuple[int, ...]] = None
+        gathered = 0
+        stopped_at: Optional[int] = None
+        for start, stop in pipe.ranges():
+            partial = pipe.run_morsel(start, stop, index=start,
+                                      collect=True)
+            pipe.absorb(acc, partial)
+            totals = (partial.chain_counts if totals is None else
+                      tuple(a + b for a, b in
+                            zip(totals, partial.chain_counts)))
+            gathered += partial.chain_counts[-1]
+            if gathered >= root.n:
+                stopped_at = stop
+                break
+        if not acc.chunks:
+            raise Decline("limit_empty")
+        _, prev_nominal = pipe.replay_nominal(totals)
+        result = pipe.run_tail(pipe.finalize(acc, prev_nominal))
+    except Decline as decline:
+        reason = decline.reason
+        if not reason.startswith("limit_"):
+            reason = "limit_" + reason
+        decline_reasons[reason] += 1
+        return None
+    except Exception:
+        decline_reasons["limit_error"] += 1
+        return None
+    stats["limit_fused_queries"] += 1
+    if stopped_at is not None and stopped_at < pipe.fact_rows:
+        stats["limit_early_stops"] += 1
+        stats["limit_rows_skipped"] += pipe.fact_rows - stopped_at
+    return result
 
 
 def prepare_fused(plan, database) -> bool:

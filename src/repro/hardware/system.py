@@ -70,6 +70,21 @@ class SystemConfig:
     morsels: bool = False
     #: rows per morsel (None = $REPRO_MORSEL_ROWS or the 64K default)
     morsel_rows: Optional[int] = None
+    #: intra-operator split execution (repro.engine.execution.split):
+    #: one operator's morsel range divided between CPU and GPU by a
+    #: HyPE-chosen ratio, rebalanced mid-operator by the load tracker.
+    #: Off by default — placement stays all-or-nothing per operator.
+    split: bool = False
+    #: fixed GPU work fraction in [0, 1] (None = let the split cost
+    #: model choose and the rebalancer adjust)
+    split_ratio: Optional[float] = None
+    #: rebalance points per split operator (ratio is re-evaluated at
+    #: each round boundary; 1 = choose once, never rebalance)
+    split_rounds: int = 4
+    #: coupled/integrated-GPU platform (arXiv 1307.1955): CPU and GPU
+    #: share one physical memory, so staging to the device and merging
+    #: results back skip the PCIe hop entirely
+    coupled: bool = False
     #: cost calibration
     profile: EngineProfile = COGADB_PROFILE
 
@@ -86,6 +101,11 @@ class SystemConfig:
             raise ValueError("prefetch depth must be >= 0")
         if self.morsel_rows is not None and self.morsel_rows < 1:
             raise ValueError("morsel_rows must be >= 1")
+        if self.split_ratio is not None and not (
+                0.0 <= self.split_ratio <= 1.0):
+            raise ValueError("split_ratio must be in [0, 1]")
+        if self.split_rounds < 1:
+            raise ValueError("split_rounds must be >= 1")
 
     @property
     def gpu_heap_bytes(self) -> int:
@@ -109,6 +129,31 @@ class SystemConfig:
                      morsel_rows: Optional[int] = None) -> "SystemConfig":
         """Copy of this config with fused morsel execution toggled."""
         return replace(self, morsels=enabled, morsel_rows=morsel_rows)
+
+    def with_split(self, enabled: bool = True,
+                   **overrides) -> "SystemConfig":
+        """Copy of this config with split execution toggled (plus any
+        split knob overrides: ``split_ratio``, ``split_rounds``)."""
+        return replace(self, split=enabled, **overrides)
+
+    @classmethod
+    def coupled_gpu(cls, **overrides) -> "SystemConfig":
+        """The coupled CPU-GPU platform of arXiv 1307.1955: an
+        integrated GPU sharing the host's physical memory.  The PCIe
+        hop disappears (modelled as shared-memory bandwidth with
+        negligible latency, and split staging/merging skipping the bus
+        entirely), so the split cost model's transfer term vanishes and
+        ratios shift toward the GPU.  Compute calibration is left
+        unchanged on purpose: the ratio shift then isolates the
+        transfer effect."""
+        defaults = dict(
+            coupled=True,
+            split=True,
+            pcie_bandwidth_bytes_per_second=25.6 * GIB,
+            pcie_latency_seconds=1e-7,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
 
 
 @dataclass

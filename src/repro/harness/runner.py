@@ -180,6 +180,15 @@ def run_workload(
         PlacementPrefetcher(
             hardware, placement, depth=config.prefetch_depth
         ).start()
+    if config.split:
+        # Intra-operator co-processing: gate each query template for
+        # chunk-merge byte identity, then hang the split state off the
+        # context — the dispatch hook consults it per operator.
+        from repro.engine.execution.split import SplitState
+
+        split_state = SplitState(config, ctx.cost_model, strategy_obj)
+        split_state.prepare(database, queries, metrics=metrics)
+        ctx.split = split_state
 
     # -- partition the fixed workload over the user sessions -----------
     all_runs: List[WorkloadQuery] = [

@@ -11,10 +11,12 @@ each processor's ready queue (Sec. 5.2).
   observations arrive, with the analytical calibration profile as the
   bootstrap fallback.
 * :class:`LoadTracker` — outstanding estimated seconds per processor.
+* :class:`SplitCostModel` — CPU/GPU work-ratio chooser for
+  intra-operator split execution.
 """
 
 from repro.hype.observation import Observation, ObservationStore
-from repro.hype.models import LearnedCostModel
+from repro.hype.models import LearnedCostModel, SplitCostModel
 from repro.hype.load import LoadTracker
 from repro.hype.algorithms import choose_algorithm
 
@@ -23,5 +25,6 @@ __all__ = [
     "LoadTracker",
     "Observation",
     "ObservationStore",
+    "SplitCostModel",
     "choose_algorithm",
 ]

@@ -25,11 +25,32 @@ class LoadTracker:
         self._outstanding: Dict[str, float] = {}
         self._resilience = None
         self._clock = None
+        #: breaker-penalty snapshots, refreshed explicitly so a long
+        #: operator (or the split rebalancer) re-reads breaker state at
+        #: its own boundaries instead of once at placement time
+        self._penalty: Dict[str, float] = {}
 
     def attach_resilience(self, resilience, clock) -> None:
         """Penalise devices with open breakers in the load estimates."""
         self._resilience = resilience
         self._clock = clock
+        self._penalty.clear()
+
+    def refresh(self, processor_name: str = None) -> None:
+        """Re-snapshot the breaker penalty for one processor (or all
+        known ones).  Placement strategies call this at choose time and
+        the split rebalancer at every round boundary, so mid-operator
+        breaker transitions show up in :meth:`estimated_completion`
+        instead of the stale placement-time reading."""
+        if self._resilience is None or not self._resilience.enabled:
+            self._penalty.clear()
+            return
+        now = self._clock()
+        names = ([processor_name] if processor_name is not None
+                 else list(self._penalty) or list(self._outstanding))
+        for name in names:
+            self._penalty[name] = self._resilience.placement_penalty(
+                name, now)
 
     def assign(self, processor_name: str, estimated_seconds: float) -> None:
         """An operator was queued on ``processor_name``."""
@@ -46,10 +67,18 @@ class LoadTracker:
         """Estimated seconds until the ready queue drains."""
         outstanding = self._outstanding.get(processor_name, 0.0)
         if self._resilience is not None and self._resilience.enabled:
-            outstanding += self._resilience.placement_penalty(
-                processor_name, self._clock()
-            )
+            penalty = self._penalty.get(processor_name)
+            if penalty is None:
+                # First read snapshots the penalty; it stays until the
+                # next refresh() so repeated reads inside one placement
+                # decision agree with each other.
+                penalty = self._resilience.placement_penalty(
+                    processor_name, self._clock()
+                )
+                self._penalty[processor_name] = penalty
+            outstanding += penalty
         return outstanding
 
     def reset(self) -> None:
         self._outstanding.clear()
+        self._penalty.clear()

@@ -9,10 +9,18 @@ from repro.hardware.processor import ProcessorKind
 
 
 class Observation(NamedTuple):
-    """One measured operator execution."""
+    """One measured operator execution.
+
+    ``source`` tags where the measurement came from: ``"pure"`` for a
+    whole-operator execution on one device, ``"split"`` for the
+    per-device share of a split execution (PR9).  Split shares are
+    real throughput measurements of the device, so they feed the same
+    regressions — the tag exists so diagnostics can tell them apart.
+    """
 
     input_bytes: float
     seconds: float
+    source: str = "pure"
 
 
 class ObservationStore:
@@ -25,10 +33,13 @@ class ObservationStore:
         )
 
     def add(self, op_kind: str, processor_kind: ProcessorKind,
-            input_bytes: float, seconds: float) -> None:
+            input_bytes: float, seconds: float,
+            source: str = "pure") -> None:
         """Record one execution."""
         observations = self._data[(op_kind, processor_kind)]
-        observations.append(Observation(float(input_bytes), float(seconds)))
+        observations.append(
+            Observation(float(input_bytes), float(seconds), source)
+        )
         if len(observations) > self._max:
             # Keep the most recent window (workload drift).
             del observations[: len(observations) - self._max]

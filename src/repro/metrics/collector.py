@@ -142,6 +142,20 @@ class MetricsCollector:
     hedges_started: int = 0
     hedge_wins: int = 0
     hedge_losses: int = 0
+    #: straggler-hedging wasted time: seconds the losing copy of a
+    #: hedged operator had already executed when the race resolved
+    hedge_wasted_seconds: float = 0.0
+    #: intra-operator split-execution accounting
+    #: (repro.engine.execution.split; all zero when --split is off)
+    split_operators: int = 0
+    split_rebalances: int = 0
+    split_degrades: int = 0
+    split_declines: Counter = field(default_factory=Counter)
+    split_chosen_ratio_sum: float = 0.0
+    split_realized_ratio_sum: float = 0.0
+    split_gpu_seconds: float = 0.0
+    split_cpu_seconds: float = 0.0
+    split_wasted_seconds: float = 0.0
     #: fused morsel-execution accounting (repro.engine.morsel; all zero
     #: when the morsel path is off)
     morsels_executed: int = 0
@@ -356,6 +370,38 @@ class MetricsCollector:
         """Record a hedge whose original placement finished first."""
         self.hedge_losses += 1
 
+    def record_hedge_wasted(self, seconds: float) -> None:
+        """Record time the losing copy of a hedged operator had spent
+        executing when the race resolved — hedging's wasted work."""
+        self.hedge_wasted_seconds += seconds
+
+    # -- split-execution hooks ----------------------------------------
+
+    def record_split(self, chosen_ratio: float, realized_ratio: float,
+                     rebalances: int, gpu_seconds: float,
+                     cpu_seconds: float, degraded: bool = False) -> None:
+        """Record one operator executed on the CPU/GPU split path.
+
+        ``chosen_ratio`` is the GPU work fraction the cost model picked
+        up front; ``realized_ratio`` the fraction the GPU actually
+        completed (lower when the split degraded mid-operator)."""
+        self.split_operators += 1
+        self.split_rebalances += rebalances
+        if degraded:
+            self.split_degrades += 1
+        self.split_chosen_ratio_sum += chosen_ratio
+        self.split_realized_ratio_sum += realized_ratio
+        self.split_gpu_seconds += gpu_seconds
+        self.split_cpu_seconds += cpu_seconds
+
+    def record_split_decline(self, reason: str) -> None:
+        """Record one operator the split path declined (ran pure)."""
+        self.split_declines[reason] += 1
+
+    def record_split_wasted(self, seconds: float) -> None:
+        """Record GPU time lost when a split half aborted mid-round."""
+        self.split_wasted_seconds += seconds
+
     def record_phase(self, phase: str, wall_seconds: float) -> None:
         """Accumulate wall-clock time into one harness phase bucket."""
         self.phase_seconds[phase] = (
@@ -536,6 +582,28 @@ class MetricsCollector:
             "hedges_started": float(self.hedges_started),
             "hedge_wins": float(self.hedge_wins),
             "hedge_losses": float(self.hedge_losses),
+            "hedge_wasted_seconds": self.hedge_wasted_seconds,
+        }
+
+    def split_summary(self) -> Dict[str, float]:
+        """Split-execution view: operators split, mean chosen/realized
+        GPU ratios, rebalances, degrades, per-side busy time, and
+        decline totals (all zero when the split path is off)."""
+        ops = self.split_operators
+        return {
+            "split_operators": float(ops),
+            "split_mean_chosen_ratio": (
+                self.split_chosen_ratio_sum / ops if ops else 0.0
+            ),
+            "split_mean_realized_ratio": (
+                self.split_realized_ratio_sum / ops if ops else 0.0
+            ),
+            "split_rebalances": float(self.split_rebalances),
+            "split_degrades": float(self.split_degrades),
+            "split_declines": float(sum(self.split_declines.values())),
+            "split_gpu_seconds": self.split_gpu_seconds,
+            "split_cpu_seconds": self.split_cpu_seconds,
+            "split_wasted_seconds": self.split_wasted_seconds,
         }
 
     def per_query_fault_report(self) -> Dict[str, Dict[str, float]]:
