@@ -1,0 +1,366 @@
+"""Steady-state soak: service mode under sustained overload and chaos.
+
+Exercises ``repro.harness.service`` end to end and gates the tentpole
+guarantees:
+
+* **slo soak** — a fixed-seed diurnal arrival stream at ~4x the
+  machine's measured closed-loop capacity, with ~10% hardware chaos
+  and concurrent append epochs: premium attainment stays >= 95% while
+  best-effort absorbs all the shedding, every arrival is accounted
+  for exactly once (conservation), and every completed query is
+  byte-identical to the reference engine over its pinned epoch
+  (``ledger_divergence == 0``);
+* **determinism** — two soaks with the same seed produce the same
+  arrival counts, the same per-class ledger, and the same fault
+  schedule digest;
+* **epoch identity** — append batches advance the table epoch
+  mid-stream; queries stay pinned, superseded snapshots retire
+  through the cache registry, and nothing diverges;
+* **zero overhead when disabled** — running service mode does not
+  perturb the batch path: a plain ``run_workload`` before and after a
+  service run returns byte-identical simulated makespans and result
+  digests.
+
+The exit code is nonzero iff any gate fails.  Writes ``BENCH_PR10.json``
+with a top-level ``ledger_divergence`` count that the trajectory gate
+(``benchmarks/trajectory.py``) fails on.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_service.py
+Or under pytest: PYTHONPATH=src python -m pytest benchmarks/bench_service.py
+
+``REPRO_FAST=1`` shrinks the soak (CI smoke machines are small).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.harness.runner import run_workload  # noqa: E402
+from repro.harness.service import ServiceConfig, run_service  # noqa: E402
+from repro.workloads import ssb  # noqa: E402
+
+FAST = os.environ.get("REPRO_FAST", "").strip() not in ("", "0")
+
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_PR10.json"
+)
+
+SIZES = {
+    "scale_factor": 0.05 if FAST else 0.5,
+    "data_scale": 0.01 if FAST else 0.05,
+    "duration": 4.0 if FAST else 12.0,
+    "mutation_interval": 1.5 if FAST else 3.0,
+}
+
+#: ~10% of operator executions fault (pcie + heap + kernel)
+CHAOS_SPEC = "pcie=0.04,heap=0.03,kernel=0.03,seed=29"
+#: the overload multiple the soak sustains over measured capacity
+OVERLOAD = 4.0
+#: acceptance: premium completes >= this fraction within its target
+PREMIUM_ATTAINMENT = 0.95
+
+QUERY_NAMES = ["Q1.1", "Q2.1", "Q3.1", "Q4.1"]
+SEED = 47
+
+
+def _database():
+    return ssb.generate(scale_factor=SIZES["scale_factor"],
+                        data_scale=SIZES["data_scale"], seed=7)
+
+
+def _measure_capacity(database):
+    """``(capacity, latency_scale)``: sustained service capacity in
+    queries per simulated second, and the per-query latency scale the
+    SLO targets ride.
+
+    A closed-loop batch overstates what the machine holds at steady
+    state (it rotates a handful of hot queries with no chaos), so the
+    4x overload point is derived in two steps: the batch gives a first
+    guess, then a short *service-mode* calibration run — same chaos
+    spec, open arrivals at half the guess — measures the true mean
+    service time, and capacity = max_inflight / mean_service.
+
+    Capacity follows the traffic *mix* (throughput is mix-weighted),
+    but the latency scale follows the **premium** class's own measured
+    service time: premium never sheds, so it pays full price for the
+    heavy query templates and their chaos retries, and a target scaled
+    from the lighter mix mean would undercount that cost."""
+    queries = ssb.workload(database, QUERY_NAMES)
+    reps = 5
+    run = run_workload(database, queries, "critical_path", users=4,
+                       repetitions=reps)
+    guess = len(queries) * reps / max(run.seconds, 1e-9)
+    calibration = ServiceConfig(
+        duration_seconds=2.0, arrivals="poisson", rate=0.5 * guess,
+        tenants_per_class=2, max_inflight=4, validate=False,
+        seed=SEED + 1,
+    )
+    result = run_service(
+        database, workload="ssb", strategy="critical_path",
+        service=calibration, query_names=QUERY_NAMES, faults=CHAOS_SPEC,
+    )
+    completed = sum(row.get("completed", 0.0)
+                    for row in result.ledger.values())
+    service_seconds = sum(
+        row.get("mean_service", 0.0) * row.get("completed", 0.0)
+        for row in result.ledger.values()
+    )
+    mean_service = service_seconds / max(completed, 1.0)
+    premium = result.ledger.get("premium", {})
+    latency_scale = (premium["mean_service"]
+                     if premium.get("completed", 0.0) else mean_service)
+    return 4.0 / max(mean_service, 1e-9), max(latency_scale, 1e-9)
+
+
+def _service_config(calib, **overrides) -> ServiceConfig:
+    # the calibrated premium service time sets the latency scale; the
+    # targets ride it so the gate is scale-independent
+    capacity, service_time = calib
+    defaults = dict(
+        duration_seconds=SIZES["duration"],
+        arrivals="diurnal",
+        rate=OVERLOAD * capacity,
+        tenants_per_class=2,
+        max_inflight=4,
+        deadline_seconds=40.0 * service_time,
+        latency_target_seconds=16.0 * service_time,
+        hedge_factor=3.0,
+        mutation_interval_seconds=SIZES["mutation_interval"],
+        append_fraction=0.05,
+        seed=SEED,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _ledger_digest(result) -> str:
+    payload = {
+        "arrivals": result.arrivals,
+        "completed": result.completed,
+        "shed": result.shed,
+        "cancelled": result.cancelled,
+        "ledger": result.ledger,
+        "tenant_ledger": result.tenant_ledger,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def _soak(database, calib, **config_overrides):
+    service = _service_config(calib, **config_overrides)
+    return service, run_service(
+        database, workload="ssb", strategy="critical_path",
+        service=service, query_names=QUERY_NAMES, faults=CHAOS_SPEC,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gate 1: the SLO soak — overload, chaos, mutation, attainment
+# ---------------------------------------------------------------------------
+
+def gate_slo_soak(database, calib):
+    service, result = _soak(database, calib)
+    premium = result.ledger.get("premium", {})
+    best_effort = result.ledger.get("best_effort", {})
+    attainment = premium.get("attainment", 0.0)
+    identical = (
+        result.conserved()
+        and result.identical
+        and attainment >= PREMIUM_ATTAINMENT
+        and best_effort.get("shed", 0.0) >= premium.get("shed", 0.0)
+        and premium.get("shed", 0.0) == 0.0
+        and result.epochs >= 1
+        and result.faults_injected > 0
+    )
+    return {
+        "capacity_qps": round(calib[0], 2),
+        "latency_scale_seconds": round(calib[1], 6),
+        "offered_rate_qps": round(service.rate, 2),
+        "overload": OVERLOAD,
+        "arrivals": result.arrivals,
+        "completed": result.completed,
+        "shed": result.shed,
+        "degraded": result.degraded,
+        "cancelled": result.cancelled,
+        "conserved": result.conserved(),
+        "epochs": result.epochs,
+        "snapshots_retired": result.metrics.snapshots_retired,
+        "faults_injected": result.faults_injected,
+        "fault_digest": result.fault_digest,
+        "starvation_promotions": result.metrics.starvation_promotions,
+        "premium_attainment": round(attainment, 4),
+        "premium_attainment_target": PREMIUM_ATTAINMENT,
+        "premium_p99": round(premium.get("p99", 0.0), 6),
+        "premium_target": round(premium.get("target", 0.0), 6),
+        "premium_shed": premium.get("shed", 0.0),
+        "best_effort_shed": best_effort.get("shed", 0.0),
+        "ledger": result.ledger,
+        "ledger_divergence": len(result.divergences),
+        "divergences": result.divergences[:5],
+        "identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 2: determinism — same seed, same ledger, same chaos schedule
+# ---------------------------------------------------------------------------
+
+def gate_determinism(database, calib):
+    _, first = _soak(database, calib)
+    _, second = _soak(database, calib)
+    digests = (_ledger_digest(first), _ledger_digest(second))
+    identical = (
+        digests[0] == digests[1]
+        and first.fault_digest == second.fault_digest
+        and first.conserved() and second.conserved()
+    )
+    return {
+        "ledger_digests_equal": digests[0] == digests[1],
+        "fault_digests_equal":
+            first.fault_digest == second.fault_digest,
+        "ledger_digest": digests[0],
+        "ledger_divergence": (len(first.divergences)
+                              + len(second.divergences)),
+        "identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 3: epoch identity — mutation mid-stream, nothing diverges
+# ---------------------------------------------------------------------------
+
+def gate_epoch_identity(database, calib):
+    # gentler load + faster append cadence: more epochs, all validated
+    service, result = _soak(
+        database, calib,
+        rate=0.5 * calib[0],
+        mutation_interval_seconds=SIZES["mutation_interval"] / 3.0,
+        append_fraction=0.10,
+    )
+    identical = (
+        result.identical
+        and result.conserved()
+        and result.epochs >= 2
+        and result.metrics.snapshots_retired >= 1
+    )
+    return {
+        "epochs": result.epochs,
+        "snapshots_retired": result.metrics.snapshots_retired,
+        "completed": result.completed,
+        "conserved": result.conserved(),
+        "ledger_divergence": len(result.divergences),
+        "divergences": result.divergences[:5],
+        "identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 4: zero overhead — the batch path is untouched by service mode
+# ---------------------------------------------------------------------------
+
+def gate_zero_overhead(database, calib):
+    queries = ssb.workload(database, QUERY_NAMES)
+
+    def batch():
+        run = run_workload(database, queries, "critical_path",
+                           users=2, repetitions=2,
+                           collect_results=True)
+        digest = hashlib.sha256(repr(sorted(
+            (name, payload.row_tuples())
+            for name, payload in run.results.items()
+        )).encode()).hexdigest()
+        return run.seconds, digest
+
+    before_seconds, before_digest = batch()
+    _soak(database, calib, duration_seconds=1.0)
+    after_seconds, after_digest = batch()
+    identical = (before_seconds == after_seconds
+                 and before_digest == after_digest)
+    return {
+        "makespan_before": before_seconds,
+        "makespan_after": after_seconds,
+        "digests_equal": before_digest == after_digest,
+        "identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    print("service benchmark: SF {scale_factor}, {duration}s simulated{f}"
+          .format(f=", REPRO_FAST" if FAST else "", **SIZES))
+    start = time.time()
+    database = _database()
+    calib = _measure_capacity(database)
+    print("calibrated capacity: {:.1f} q/s (premium latency scale "
+          "{:.2f} ms) -> soak at {:.1f} q/s ({}x)".format(
+              calib[0], 1e3 * calib[1], OVERLOAD * calib[0], OVERLOAD))
+    report = {
+        "benchmark": "service",
+        "fast_mode": FAST,
+        "chaos_spec": CHAOS_SPEC,
+        "seed": SEED,
+        "gates": {},
+    }
+
+    report["gates"]["slo_soak"] = gate_slo_soak(database, calib)
+    soak = report["gates"]["slo_soak"]
+    print("slo soak:       {arrivals} arrivals, premium attainment "
+          "{premium_attainment} (>= {premium_attainment_target}), "
+          "sheds premium={premium_shed:.0f} "
+          "best_effort={best_effort_shed:.0f}, epochs={epochs}, "
+          "faults={faults_injected}, identical={identical}"
+          .format(**soak))
+
+    report["gates"]["determinism"] = gate_determinism(database, calib)
+    print("determinism:    ledger_digests_equal={ledger_digests_equal} "
+          "fault_digests_equal={fault_digests_equal} "
+          "identical={identical}"
+          .format(**report["gates"]["determinism"]))
+
+    report["gates"]["epoch_identity"] = gate_epoch_identity(
+        database, calib)
+    print("epoch identity: epochs={epochs} retired={snapshots_retired} "
+          "divergence={ledger_divergence} identical={identical}"
+          .format(**report["gates"]["epoch_identity"]))
+
+    report["gates"]["zero_overhead"] = gate_zero_overhead(
+        database, calib)
+    print("zero overhead:  digests_equal={digests_equal} "
+          "identical={identical}"
+          .format(**report["gates"]["zero_overhead"]))
+
+    report["ledger_divergence"] = sum(
+        gate.get("ledger_divergence", 0)
+        for gate in report["gates"].values()
+    )
+    report["all_gates_pass"] = (
+        all(gate["identical"] for gate in report["gates"].values())
+        and report["ledger_divergence"] == 0
+    )
+    report["elapsed_seconds"] = round(time.time() - start, 2)
+    with open(OUTPUT, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote {} in {:.1f}s".format(os.path.normpath(OUTPUT),
+                                       report["elapsed_seconds"]))
+    return 0 if report["all_gates_pass"] else 1
+
+
+def test_service_gates():
+    """Pytest entry point: every service gate holds; the report is
+    written."""
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,9 +64,11 @@ def _parallel_regressions(node, path=""):
 
 
 def _integrity_failures(node, path=""):
-    """``(dotted.path, kind, value)`` for every identity or shm-leak
-    violation anywhere in a report: an ``identical`` flag that is
-    false, or a ``leaked_segments`` count above zero."""
+    """``(dotted.path, kind, value)`` for every identity, shm-leak, or
+    SLO-ledger violation anywhere in a report: an ``identical`` flag
+    that is false, a ``leaked_segments`` count above zero, or a
+    ``ledger_divergence`` count above zero (a service-mode query whose
+    result diverged from the reference engine over its pinned epoch)."""
     found = []
     if isinstance(node, dict):
         if node.get("identical") is False:
@@ -77,6 +79,11 @@ def _integrity_failures(node, path=""):
             where = ("{}.leaked_segments".format(path) if path
                      else "leaked_segments")
             found.append((where, "shm-leak", leaked))
+        diverged = node.get("ledger_divergence")
+        if isinstance(diverged, (int, float)) and diverged > 0:
+            where = ("{}.ledger_divergence".format(path) if path
+                     else "ledger_divergence")
+            found.append((where, "ledger-divergence", diverged))
         for key in sorted(node):
             child = "{}.{}".format(path, key) if path else key
             found.extend(_integrity_failures(node[key], child))

@@ -15,6 +15,11 @@ Commands
 ``pool [--faults crash=0.1,...] [--jobs N]``
     Chaos-soak the self-healing shared-memory morsel pool and report
     byte identity, recovery counters, and the fault-schedule digest.
+``serve [--rate R --duration S --arrivals diurnal ...]``
+    Run the simulated machine as a long-lived multi-tenant service:
+    streaming arrivals over SLO classes, fair-share admission,
+    concurrent append epochs, optional chaos — and print the
+    per-class SLO ledger.
 ``strategies``
     List the available placement strategies.
 ``compress --benchmark ssb``
@@ -273,6 +278,75 @@ def cmd_pool(args) -> int:
     return 0 if identical and not leaked else 1
 
 
+def cmd_serve(args) -> int:
+    """Run the machine as a multi-tenant service; print the ledger."""
+    from repro.harness.service import ServiceConfig, run_service
+
+    database = _database(args.benchmark, args.scale_factor, args.data_scale)
+    service = ServiceConfig(
+        duration_seconds=args.duration,
+        arrivals=args.arrivals,
+        rate=args.rate,
+        tenants_per_class=args.tenants,
+        max_inflight=args.max_inflight,
+        deadline_seconds=args.deadline,
+        latency_target_seconds=args.target,
+        hedge_factor=args.hedge_factor,
+        mutation_interval_seconds=args.mutation_interval,
+        append_fraction=args.append_fraction,
+        pool_chaos=args.pool_chaos,
+        validate=not args.no_validate,
+        seed=args.seed,
+    )
+    start = time.time()
+    result = run_service(
+        database, workload=args.benchmark, strategy=args.strategy,
+        service=service, faults=_resolve_faults(args),
+    )
+    elapsed = time.time() - start
+    print("service: {} x{:.0f}s simulated {} arrivals @ {:g}/s, "
+          "strategy {} ({:.1f}s wall)".format(
+              args.benchmark, args.duration, args.arrivals, args.rate,
+              args.strategy, elapsed))
+    print("  arrivals {}  completed {}  shed {}  degraded {}  "
+          "cancelled {}".format(
+              result.arrivals, result.completed, result.shed,
+              result.degraded, result.cancelled))
+    print("  epochs advanced: {}  snapshots retired: {}".format(
+        result.epochs, result.metrics.snapshots_retired))
+    print("  conservation (arrivals == completed+shed+cancelled): "
+          "{}".format(result.conserved()))
+    if service.validate:
+        print("  byte-identical to reference: {}".format(result.identical))
+        for line in result.divergences[:5]:
+            print("    DIVERGED {}".format(line))
+    if result.faults_injected:
+        print("  faults injected: {} (digest {})".format(
+            result.faults_injected, result.fault_digest))
+    print("  per-class SLO ledger:")
+    for cls, row in sorted(result.ledger.items()):
+        print("    {}:".format(cls))
+        for key, value in row.items():
+            print("      {:18s} {:.6g}".format(key, value))
+    print("  per-tenant ledger:")
+    for tenant, row in sorted(result.tenant_ledger.items()):
+        print("    {:16s} arrivals {:.0f} completed {:.0f} shed {:.0f} "
+              "p99 {:.4g}s".format(
+                  tenant, row.get("arrivals", 0.0),
+                  row.get("completed", 0.0), row.get("shed", 0.0),
+                  row.get("p99", 0.0)))
+    if result.tenant_faults:
+        print("  chaos blame per tenant:")
+        for tenant, row in sorted(result.tenant_faults.items()):
+            print("    {:16s} {}".format(tenant, ", ".join(
+                "{}={:g}".format(k, v) for k, v in sorted(row.items()))))
+    summary = result.metrics.service_summary()
+    print("  service totals: {}".format(", ".join(
+        "{}={:g}".format(k, v) for k, v in summary.items())))
+    ok = result.conserved() and (result.identical or not service.validate)
+    return 0 if ok else 1
+
+
 def cmd_query(args) -> int:
     database = _database(args.benchmark, args.scale_factor, args.data_scale)
     queries = sql_workload(database, {"adhoc": args.sql})
@@ -428,6 +502,53 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker respawn budget before the pool "
                            "degrades to sequential (default: 16)")
     pool.set_defaults(func=cmd_pool)
+
+    serve = sub.add_parser(
+        "serve", help="run the machine as a multi-tenant service"
+    )
+    serve.add_argument("--benchmark", choices=("ssb", "tpch"),
+                       default="ssb")
+    serve.add_argument("--scale-factor", type=float, default=1)
+    serve.add_argument("--data-scale", type=float, default=1e-2)
+    serve.add_argument("--strategy", choices=STRATEGY_NAMES,
+                       default="critical_path")
+    serve.add_argument("--duration", type=float, default=20.0,
+                       metavar="SECONDS",
+                       help="simulated seconds of arrival traffic")
+    serve.add_argument("--arrivals", choices=("poisson", "diurnal"),
+                       default="poisson")
+    serve.add_argument("--rate", type=float, default=50.0, metavar="QPS",
+                       help="aggregate mean arrival rate "
+                            "(queries per simulated second)")
+    serve.add_argument("--tenants", type=int, default=2, metavar="N",
+                       help="tenants per SLO class (default: 2)")
+    serve.add_argument("--max-inflight", type=int, default=4, metavar="N")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="base per-query deadline; each SLO class "
+                            "multiplies it (premium 4x, standard 2x)")
+    serve.add_argument("--target", type=float, default=None,
+                       metavar="SECONDS",
+                       help="base p99 latency target for the attainment "
+                            "ledger (same per-class multipliers)")
+    serve.add_argument("--hedge-factor", type=float, default=None,
+                       metavar="K")
+    serve.add_argument("--mutation-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="append-batch cadence in simulated seconds "
+                            "(default: no concurrent mutation)")
+    serve.add_argument("--append-fraction", type=float, default=0.05,
+                       metavar="F")
+    serve.add_argument("--pool-chaos", action="store_true",
+                       help="cross-check each append epoch through the "
+                            "self-healing process pool under chaos")
+    serve.add_argument("--no-validate", action="store_true",
+                       help="skip reference-engine identity checks")
+    serve.add_argument("--seed", type=int, default=11)
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="deterministic fault injection spec "
+                            "(default: $REPRO_FAULTS)")
+    serve.set_defaults(func=cmd_serve)
 
     query = sub.add_parser("query", help="run ad-hoc SQL")
     query.add_argument("sql")

@@ -48,6 +48,7 @@ class _Task:
         "estimate",
         "qctx",
         "race",
+        "ctx",
     )
 
     def __init__(self, op: PhysicalOperator):
@@ -61,6 +62,9 @@ class _Task:
         self.estimate = 0.0
         self.qctx: Optional[QueryContext] = None
         self.race: Optional[_HedgeRace] = None
+        #: per-query context override (service mode pins a query to its
+        #: snapshot epoch); None = the executor's shared context
+        self.ctx: Optional[ExecutionContext] = None
 
 
 class _HedgeRace:
@@ -125,19 +129,24 @@ class ChoppingExecutor:
     # -- query submission -------------------------------------------------
 
     def submit(self, plan: PhysicalPlan,
-               qctx: Optional[QueryContext] = None) -> Event:
+               qctx: Optional[QueryContext] = None,
+               ctx: Optional[ExecutionContext] = None) -> Event:
         """Chop ``plan`` into the operator stream.
 
         Returns an event that fires with the root
         :class:`~repro.engine.intermediates.OperatorResult` once the
         query completes.  With a ``qctx`` the event instead *fails*
-        with :class:`QueryCancelled` if the query is cancelled.
+        with :class:`QueryCancelled` if the query is cancelled.  A
+        ``ctx`` pins every operator of this plan to another execution
+        context (service mode's epoch snapshots); the override must
+        share the executor's hardware and load tracker.
         """
         root_event = self.ctx.env.event()
         tasks: Dict[int, _Task] = {}
         for op in plan.operators:  # post order
             task = _Task(op)
             task.qctx = qctx
+            task.ctx = ctx
             tasks[op.op_id] = task
             for index, child in enumerate(op.children):
                 child_task = tasks[child.op_id]
@@ -161,24 +170,25 @@ class ChoppingExecutor:
             # the query died before this operator became ready
             self._release_children(task)
             return
+        ctx = self.ctx if task.ctx is None else task.ctx
         if qctx is not None and qctx.force_cpu:
             name = "cpu"
         else:
             name = self.strategy.choose_processor(
-                self.ctx, task.op, task.child_results
+                ctx, task.op, task.child_results
             )
         task.assigned = name
         task.estimate = estimate_runtime(
-            self.ctx, task.op, task.child_results, name
+            ctx, task.op, task.child_results, name
         )
-        self.ctx.load.assign(name, task.estimate)
+        ctx.load.assign(name, task.estimate)
         self.ready[name].put(task, priority=task.estimate)
 
     def _worker(self, name: str) -> Generator:
         """One worker thread: pull, execute, notify the parent."""
-        ctx = self.ctx
         while True:
             task = yield self.ready[name].get()
+            ctx = self.ctx if task.ctx is None else task.ctx
             if (task.qctx is None and task.race is None
                     and not (self._hedging and name != "cpu"
                              and not task.op.cpu_only)):
@@ -203,7 +213,7 @@ class ChoppingExecutor:
         query context, so a cancel can interrupt it mid-execution; the
         worker joins it and performs bookkeeping and completion.
         """
-        ctx = self.ctx
+        ctx = self.ctx if task.ctx is None else task.ctx
         qctx = task.qctx
         race = task.race
         estimate = (race.estimates.get(name, task.estimate)
@@ -295,7 +305,8 @@ class ChoppingExecutor:
             return
         race.hedged = True
         cpu_estimate = estimate_runtime(
-            self.ctx, task.op, task.child_results, "cpu"
+            self.ctx if task.ctx is None else task.ctx,
+            task.op, task.child_results, "cpu"
         )
         race.estimates["cpu"] = cpu_estimate
         self.ctx.load.assign("cpu", cpu_estimate)
@@ -304,7 +315,7 @@ class ChoppingExecutor:
 
     def _complete(self, task: _Task, result) -> Generator:
         """Return the root result (d2h) or notify the parent task."""
-        ctx = self.ctx
+        ctx = self.ctx if task.ctx is None else task.ctx
         parent = task.parent
         if parent is None:
             root_event = task.root_event

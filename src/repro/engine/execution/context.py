@@ -48,6 +48,23 @@ class ExecutionContext:
         #: bulk algorithm; see benchmarks/bench_ablation_algorithms.py)
         self.algorithm_selection = True
 
+    def with_database(self, database: Database) -> "ExecutionContext":
+        """Shallow fork bound to another catalog snapshot.
+
+        Service mode pins each in-flight query to the table epoch it
+        arrived under: the fork shares hardware, cost model, breakers
+        and load tracker with the live context, but resolves columns
+        against the pinned snapshot.  Split identity gates were proved
+        against the base epoch's data, so forks of a *different*
+        database drop the split state rather than trust stale gates.
+        """
+        fork = ExecutionContext.__new__(ExecutionContext)
+        fork.__dict__.update(self.__dict__)
+        fork.database = database
+        if database is not self.database:
+            fork.split = None
+        return fork
+
     @property
     def gpu_cache(self):
         return self.hardware.gpu_cache

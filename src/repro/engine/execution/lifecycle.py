@@ -184,17 +184,26 @@ class QueryContext:
     __slots__ = (
         "env", "name", "user", "metrics", "deadline_seconds",
         "started_at", "finished", "cancelled", "cancel_reason",
-        "cancelled_at", "force_cpu", "_procs", "_roots", "_results",
+        "cancelled_at", "force_cpu", "tenant", "slo_class",
+        "deadline_safety", "_procs", "_roots", "_results",
         "_callbacks",
     )
 
     def __init__(self, env, name: str, user: int = 0, metrics=None,
-                 deadline_seconds: Optional[float] = None):
+                 deadline_seconds: Optional[float] = None,
+                 tenant: Optional[str] = None,
+                 slo_class: Optional[str] = None,
+                 deadline_safety: Optional[float] = None):
         self.env = env
         self.name = name
         self.user = user
         self.metrics = metrics
         self.deadline_seconds = deadline_seconds
+        #: service-mode attribution: owning tenant and its SLO class
+        self.tenant = tenant
+        self.slo_class = slo_class
+        #: per-class override of ``SystemConfig.deadline_safety``
+        self.deadline_safety = deadline_safety
         self.started_at = env.now
         self.finished = False
         self.cancelled = False

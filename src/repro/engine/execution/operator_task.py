@@ -111,7 +111,7 @@ def _try_gpu_with_recovery(ctx, device, op, child_results, input_bytes,
             ctx.metrics.record_breaker_skip(device.name)
             return None
         outcome = yield from _try_gpu(ctx, device, op, child_results,
-                                      input_bytes, admit_to_cache)
+                                      input_bytes, admit_to_cache, qctx)
         if not isinstance(outcome, DeviceFault):
             # success, or a non-fault abort — either way the device
             # itself behaved, so the breaker sees a success
@@ -127,13 +127,15 @@ def _try_gpu_with_recovery(ctx, device, op, child_results, input_bytes,
             return None
         ctx.metrics.record_retry(device=device.name,
                                  fault=outcome.fault_class,
-                                 query=op.plan_name)
+                                 query=op.plan_name,
+                                 tenant=qctx.tenant if qctx else None)
         # a cancelled query's backoff aborts early instead of retrying
         yield from resilience.backoff(env, attempt, qctx)
         attempt += 1
 
 
-def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache):
+def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache,
+             qctx=None):
     """One co-processor attempt; returns the fault when it aborts.
 
     Device memory is allocated in several steps and held (the paper's
@@ -285,7 +287,8 @@ def _try_gpu(ctx, device, op, child_results, input_bytes, admit_to_cache):
     except DeviceFault as fault:
         ctx.metrics.record_abort(env.now - start, query=op.plan_name,
                                  device=fault.device or device.name,
-                                 fault=fault.fault_class)
+                                 fault=fault.fault_class,
+                                 tenant=qctx.tenant if qctx else None)
         if ctx.trace is not None:
             ctx.trace.record(op.label, op.kind, device.name, op.plan_name,
                              start, env.now, aborted=True,

@@ -76,7 +76,9 @@ REBALANCE_EPSILON = 0.01
 BUSY_FACTOR = 1.0
 
 #: Degrade to pure CPU when the deadline margin falls below this
-#: multiple of the estimated remaining makespan.
+#: multiple of the estimated remaining makespan.  This is the default
+#: for ``SystemConfig.deadline_safety``; service mode overrides it per
+#: SLO class through ``QueryContext.deadline_safety``.
 DEADLINE_SAFETY = 2.0
 
 
@@ -306,7 +308,8 @@ class SplitState:
             wasted = env.now - round_start
             ctx.metrics.record_abort(wasted, query=op.plan_name,
                                      device=fault.device or device.name,
-                                     fault=fault.fault_class)
+                                     fault=fault.fault_class,
+                                     tenant=qctx.tenant if qctx else None)
             ctx.metrics.record_split_wasted(wasted)
             if fault.transient:
                 ctx.resilience.record_failure(device.name, env.now)
@@ -484,19 +487,23 @@ class SplitState:
             for allocation in working:
                 allocation.free()
 
-    @staticmethod
-    def _deadline_safe(qctx, remaining, t_cpu_full, t_gpu_full,
+    def _deadline_safe(self, qctx, remaining, t_cpu_full, t_gpu_full,
                        ratio) -> bool:
         """False when the deadline margin no longer covers the
         estimated remaining makespan with safety to spare — the split
-        then degrades to pure CPU rather than risk GPU retries."""
+        then degrades to pure CPU rather than risk GPU retries.  The
+        safety multiple is ``SystemConfig.deadline_safety`` unless the
+        query carries a per-SLO-class override."""
         if qctx is None or qctx.deadline_seconds is None:
             return True
         margin = (qctx.started_at + qctx.deadline_seconds
                   - qctx.env.now)
         estimate = remaining * max(t_cpu_full * (1.0 - ratio),
                                    t_gpu_full * ratio)
-        return margin >= DEADLINE_SAFETY * estimate
+        safety = getattr(self.config, "deadline_safety", DEADLINE_SAFETY)
+        if qctx.deadline_safety is not None:
+            safety = qctx.deadline_safety
+        return margin >= safety * estimate
 
 
 __all__ = ["SplitState", "merged_split_result", "SPLIT_KINDS",

@@ -306,7 +306,7 @@ class VectorizedExecutor:
                 ctx.metrics.record_breaker_skip(device_name)
                 return None
             outcome = yield from self._attempt_device_once(
-                pipeline, results, result, device_name, start
+                pipeline, results, result, device_name, start, qctx
             )
             if not isinstance(outcome, DeviceFault):
                 resilience.record_success(device_name, env.now)
@@ -320,6 +320,7 @@ class VectorizedExecutor:
             ctx.metrics.record_retry(
                 device=device_name, fault=outcome.fault_class,
                 query=pipeline.terminal.plan_name,
+                tenant=qctx.tenant if qctx else None,
             )
             # a cancelled query's backoff aborts early (QueryCancelled)
             yield from resilience.backoff(env, attempt, qctx)
@@ -328,7 +329,8 @@ class VectorizedExecutor:
     def _attempt_device_once(self, pipeline: Pipeline,
                              results: Dict[int, OperatorResult],
                              result: OperatorResult,
-                             device_name: str, start: float) -> Generator:
+                             device_name: str, start: float,
+                             qctx=None) -> Generator:
         """One device attempt; returns the fault when it aborts."""
         ctx = self.ctx
         env = ctx.env
@@ -398,6 +400,7 @@ class VectorizedExecutor:
                 env.now - start, query=pipeline.terminal.plan_name,
                 device=fault.device or device_name,
                 fault=fault.fault_class,
+                tenant=qctx.tenant if qctx else None,
             )
             if ctx.trace is not None:
                 ctx.trace.record(

@@ -85,6 +85,11 @@ class SystemConfig:
     #: share one physical memory, so staging to the device and merging
     #: results back skip the PCIe hop entirely
     coupled: bool = False
+    #: "nearing deadline" degradation threshold: a deadline-carrying
+    #: query keeps its GPU share only while the remaining margin covers
+    #: this multiple of the estimated remaining work (service mode
+    #: overrides it per SLO class via ``QueryContext.deadline_safety``)
+    deadline_safety: float = 2.0
     #: cost calibration
     profile: EngineProfile = COGADB_PROFILE
 
@@ -106,6 +111,8 @@ class SystemConfig:
             raise ValueError("split_ratio must be in [0, 1]")
         if self.split_rounds < 1:
             raise ValueError("split_rounds must be >= 1")
+        if self.deadline_safety <= 0:
+            raise ValueError("deadline_safety must be > 0")
 
     @property
     def gpu_heap_bytes(self) -> int:

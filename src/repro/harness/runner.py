@@ -346,45 +346,64 @@ def validate_results(database: Database, queries: List[WorkloadQuery],
     Placement, caching, aborts, and fallbacks may change timing — never
     the answer.  Hand-built plans (no SQL) are skipped.
     """
-    import math
-
-    from repro.engine import execute_reference
-
     for query in queries:
         if query.spec is None or query.name not in results:
             continue
-        got = sorted(map(_canonical_row, results[query.name].row_tuples()))
-        want = sorted(
-            map(_canonical_row, execute_reference(query.spec, database))
-        )
-        if len(got) != len(want):
-            raise ValidationError(
-                "{}: {} rows simulated vs {} rows reference".format(
-                    query.name, len(got), len(want)
-                )
+        got = sorted(map(canonical_row, results[query.name].row_tuples()))
+        want = reference_rows(database, query)
+        compare_rows(query.name, got, want)
+
+
+def reference_rows(database: Database, query: WorkloadQuery):
+    """Canonical, sorted reference-engine rows for one SQL query.
+
+    Service mode caches these per (epoch, query) — every completion of
+    the same query under the same snapshot checks against one
+    evaluation."""
+    from repro.engine import execute_reference
+
+    return sorted(
+        map(canonical_row, execute_reference(query.spec, database))
+    )
+
+
+def compare_rows(name: str, got, want) -> None:
+    """Raise :class:`ValidationError` unless two canonical, sorted row
+    lists agree (floats within 1e-9, everything else exactly)."""
+    import math
+
+    if len(got) != len(want):
+        raise ValidationError(
+            "{}: {} rows simulated vs {} rows reference".format(
+                name, len(got), len(want)
             )
-        for got_row, want_row in zip(got, want):
-            for a, b in zip(got_row, want_row):
-                if isinstance(a, float) or isinstance(b, float):
-                    if not math.isclose(float(a), float(b), rel_tol=1e-9,
-                                        abs_tol=1e-9):
-                        raise ValidationError(
-                            "{}: {} != {}".format(query.name, got_row,
-                                                  want_row)
-                        )
-                elif a != b:
+        )
+    for got_row, want_row in zip(got, want):
+        for a, b in zip(got_row, want_row):
+            if isinstance(a, float) or isinstance(b, float):
+                if not math.isclose(float(a), float(b), rel_tol=1e-9,
+                                    abs_tol=1e-9):
                     raise ValidationError(
-                        "{}: {} != {}".format(query.name, got_row, want_row)
+                        "{}: {} != {}".format(name, got_row, want_row)
                     )
+            elif a != b:
+                raise ValidationError(
+                    "{}: {} != {}".format(name, got_row, want_row)
+                )
 
 
-def _canonical_row(row):
+def canonical_row(row):
+    """Normalise one result row for comparison (str / float / int)."""
     return tuple(
         value if isinstance(value, str) else (
             float(value) if isinstance(value, float) else int(value)
         )
         for value in row
     )
+
+
+#: back-compat alias (pre-service-mode name)
+_canonical_row = canonical_row
 
 
 def workload_footprint_bytes(queries: List[WorkloadQuery],

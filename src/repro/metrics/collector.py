@@ -43,10 +43,31 @@ class QueryRecord:
     wasted_seconds: float = 0.0
     #: transient-fault retries attributed to this query
     retries: int = 0
+    #: service-mode attribution (None for batch runs)
+    tenant: Optional[str] = None
+    slo_class: Optional[str] = None
+    #: when fair-share admission dispatched the query (``start`` is the
+    #: arrival time, so ``admitted_at - start`` is the admission wait
+    #: and ``end - admitted_at`` the service time)
+    admitted_at: Optional[float] = None
 
     @property
     def latency(self) -> float:
         return self.end - self.start
+
+    @property
+    def wait_seconds(self) -> float:
+        """Admission wait (zero for batch runs without service mode)."""
+        if self.admitted_at is None:
+            return 0.0
+        return self.admitted_at - self.start
+
+    @property
+    def service_seconds(self) -> float:
+        """Time from dispatch to completion."""
+        if self.admitted_at is None:
+            return self.latency
+        return self.end - self.admitted_at
 
 
 @dataclass
@@ -58,6 +79,9 @@ class CancelledQueryRecord:
     start: float
     end: float
     reason: str = "cancelled"
+    #: service-mode attribution (None for batch runs)
+    tenant: Optional[str] = None
+    slo_class: Optional[str] = None
 
     @property
     def latency(self) -> float:
@@ -187,6 +211,26 @@ class MetricsCollector:
     process_faults: Counter = field(default_factory=Counter)
     #: order-sensitive digest of the planned process-fault schedule
     process_fault_digest: Optional[str] = None
+    #: service-mode accounting (harness.service; all zero/empty when no
+    #: service harness ran — the batch path never touches these)
+    arrivals_by_tenant: Counter = field(default_factory=Counter)
+    arrivals_by_class: Counter = field(default_factory=Counter)
+    sheds_by_tenant: Counter = field(default_factory=Counter)
+    sheds_by_class: Counter = field(default_factory=Counter)
+    degraded_by_tenant: Counter = field(default_factory=Counter)
+    degraded_by_class: Counter = field(default_factory=Counter)
+    #: chaos blame per tenant: fault aborts, wasted time, retries
+    aborts_by_tenant: Counter = field(default_factory=Counter)
+    wasted_by_tenant: Dict[str, float] = field(default_factory=dict)
+    retries_by_tenant: Counter = field(default_factory=Counter)
+    faults_by_tenant: Counter = field(default_factory=Counter)
+    #: table epochs advanced by concurrent appends, and snapshots whose
+    #: caches were invalidated through the registry after draining
+    service_epochs: int = 0
+    snapshots_retired: int = 0
+    #: starvation-guard activations (an aged head request served out of
+    #: deficit order)
+    starvation_promotions: int = 0
     #: makespan of the run (set by the harness)
     workload_seconds: float = 0.0
     #: *wall-clock* seconds per harness phase (plan / des / numpy /
@@ -238,13 +282,16 @@ class MetricsCollector:
     def record_abort(self, wasted_seconds: float,
                      query: Optional[str] = None,
                      device: Optional[str] = None,
-                     fault: Optional[str] = None) -> None:
+                     fault: Optional[str] = None,
+                     tenant: Optional[str] = None) -> None:
         """Record a co-processor operator abort and its wasted time.
 
         ``query``/``device``/``fault`` (the fault class, e.g. ``"oom"``
         or ``"pcie"``) attribute the abort for the per-query and
-        per-fault-class reports; legacy call sites passing only the
-        wasted time keep recording the global totals.
+        per-fault-class reports; ``tenant`` additionally blames service
+        chaos to the owning tenant (exact, unlike the name-keyed query
+        attribution).  Legacy call sites passing only the wasted time
+        keep recording the global totals.
         """
         self.aborts += 1
         self.wasted_seconds += wasted_seconds
@@ -252,6 +299,13 @@ class MetricsCollector:
             self.faults[fault] += 1
             if device is not None:
                 self.faults_per_device[(fault, device)] += 1
+            if tenant is not None:
+                self.faults_by_tenant[(fault, tenant)] += 1
+        if tenant is not None:
+            self.aborts_by_tenant[tenant] += 1
+            self.wasted_by_tenant[tenant] = (
+                self.wasted_by_tenant.get(tenant, 0.0) + wasted_seconds
+            )
         if query is not None:
             self._pending_aborts[query] += 1
             self._pending_wasted[query] = (
@@ -260,13 +314,16 @@ class MetricsCollector:
 
     def record_retry(self, device: Optional[str] = None,
                      fault: Optional[str] = None,
-                     query: Optional[str] = None) -> None:
+                     query: Optional[str] = None,
+                     tenant: Optional[str] = None) -> None:
         """Record one transient-fault retry of a device attempt."""
         self.retries += 1
         if device is not None:
             self.retries_per_device[device] += 1
         if query is not None:
             self._pending_retries[query] += 1
+        if tenant is not None:
+            self.retries_by_tenant[tenant] += 1
 
     def record_breaker_transition(self, device: str, old_state: str,
                                   new_state: str, now: float) -> None:
@@ -301,7 +358,10 @@ class MetricsCollector:
         if used_bytes > self.peak_heap_bytes:
             self.peak_heap_bytes = used_bytes
 
-    def record_query(self, name: str, user: int, start: float, end: float) -> None:
+    def record_query(self, name: str, user: int, start: float, end: float,
+                     tenant: Optional[str] = None,
+                     slo_class: Optional[str] = None,
+                     admitted_at: Optional[float] = None) -> None:
         """Record one finished query, draining the abort/retry totals
         attributed to its name since the previous record."""
         self.queries.append(QueryRecord(
@@ -309,6 +369,7 @@ class MetricsCollector:
             aborts=self._pending_aborts.pop(name, 0),
             wasted_seconds=self._pending_wasted.pop(name, 0.0),
             retries=self._pending_retries.pop(name, 0),
+            tenant=tenant, slo_class=slo_class, admitted_at=admitted_at,
         ))
 
     # -- query-lifecycle hooks ----------------------------------------
@@ -323,13 +384,23 @@ class MetricsCollector:
         if depth > self.admission_queue_peak:
             self.admission_queue_peak = depth
 
-    def record_shed(self, name: str) -> None:
+    def record_shed(self, name: str, tenant: Optional[str] = None,
+                    slo_class: Optional[str] = None) -> None:
         """Record one query rejected by the shed overload policy."""
         self.sheds[name] += 1
+        if tenant is not None:
+            self.sheds_by_tenant[tenant] += 1
+        if slo_class is not None:
+            self.sheds_by_class[slo_class] += 1
 
-    def record_degraded(self, name: str) -> None:
+    def record_degraded(self, name: str, tenant: Optional[str] = None,
+                        slo_class: Optional[str] = None) -> None:
         """Record one query admitted under degrade-to-cpu."""
         self.degraded_to_cpu[name] += 1
+        if tenant is not None:
+            self.degraded_by_tenant[tenant] += 1
+        if slo_class is not None:
+            self.degraded_by_class[slo_class] += 1
 
     def record_deadline_miss(self, name: str) -> None:
         """Record one query whose deadline elapsed before it finished."""
@@ -342,7 +413,9 @@ class MetricsCollector:
         self.cancel_seconds += latency_seconds
 
     def record_cancelled_query(self, name: str, user: int, start: float,
-                               end: float, reason: str) -> None:
+                               end: float, reason: str,
+                               tenant: Optional[str] = None,
+                               slo_class: Optional[str] = None) -> None:
         """Record a query that was cancelled instead of finishing;
         drains the pending per-name fault attribution like
         :meth:`record_query` so counts cannot leak onto a later run."""
@@ -351,6 +424,7 @@ class MetricsCollector:
         self._pending_retries.pop(name, 0)
         self.cancelled_queries.append(CancelledQueryRecord(
             name=name, user=user, start=start, end=end, reason=reason,
+            tenant=tenant, slo_class=slo_class,
         ))
 
     def record_cancelled_skip(self) -> None:
@@ -401,6 +475,26 @@ class MetricsCollector:
     def record_split_wasted(self, seconds: float) -> None:
         """Record GPU time lost when a split half aborted mid-round."""
         self.split_wasted_seconds += seconds
+
+    # -- service-mode hooks -------------------------------------------
+
+    def record_arrival(self, tenant: str, slo_class: str) -> None:
+        """Record one streaming query arrival (before admission)."""
+        self.arrivals_by_tenant[tenant] += 1
+        self.arrivals_by_class[slo_class] += 1
+
+    def record_service_epoch(self) -> None:
+        """Record one append batch advancing the table epoch."""
+        self.service_epochs += 1
+
+    def record_snapshot_retired(self) -> None:
+        """Record one drained snapshot invalidated via the registry."""
+        self.snapshots_retired += 1
+
+    def record_starvation_promotion(self) -> None:
+        """Record the starvation guard serving an aged tenant queue
+        head ahead of the deficit round-robin order."""
+        self.starvation_promotions += 1
 
     def record_phase(self, phase: str, wall_seconds: float) -> None:
         """Accumulate wall-clock time into one harness phase bucket."""
@@ -560,7 +654,139 @@ class MetricsCollector:
             summary["breaker_to_{}".format(state)] = float(count)
         for device, seconds in sorted(open_seconds.items()):
             summary["breaker_open_seconds_{}".format(device)] = seconds
+        # service mode: blame chaos to the affected tenant, not just
+        # the device (keys absent for batch runs — nothing recorded)
+        for tenant, count in sorted(self.aborts_by_tenant.items()):
+            summary["fault_aborts_{}".format(tenant)] = float(count)
+        for tenant, seconds in sorted(self.wasted_by_tenant.items()):
+            summary["wasted_seconds_{}".format(tenant)] = seconds
         return summary
+
+    @staticmethod
+    def _rank(sorted_values: List[float], fraction: float) -> float:
+        """Nearest-rank percentile over a pre-sorted list."""
+        if not sorted_values:
+            return 0.0
+        rank = min(int(fraction * len(sorted_values)),
+                   len(sorted_values) - 1)
+        return sorted_values[rank]
+
+    def slo_ledger(
+        self, targets: Optional[Dict[str, float]] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-SLO-class service ledger (empty for batch runs).
+
+        For every class that saw traffic: arrival/completion/shed/
+        degrade/cancel counts, completed-latency percentiles
+        (p50/p99/p999 over arrival-to-completion), admission wait vs
+        service time, chaos attribution, and — when ``targets`` maps
+        the class to a latency target in simulated seconds — the
+        attainment: the fraction of *arrived* queries that completed
+        within the target, so shed and cancelled queries count against
+        it."""
+        targets = targets or {}
+        classes = set(self.arrivals_by_class)
+        classes.update(q.slo_class for q in self.queries
+                       if q.slo_class is not None)
+        ledger: Dict[str, Dict[str, float]] = {}
+        for cls in sorted(classes):
+            records = [q for q in self.queries if q.slo_class == cls]
+            cancelled = [c for c in self.cancelled_queries
+                         if c.slo_class == cls]
+            latencies = sorted(q.latency for q in records)
+            arrived = self.arrivals_by_class.get(cls, len(records))
+            entry = {
+                "arrivals": float(arrived),
+                "completed": float(len(records)),
+                "shed": float(self.sheds_by_class.get(cls, 0)),
+                "degraded": float(self.degraded_by_class.get(cls, 0)),
+                "cancelled": float(len(cancelled)),
+                "p50": self._rank(latencies, 0.50),
+                "p99": self._rank(latencies, 0.99),
+                "p999": self._rank(latencies, 0.999),
+                "mean_wait": (
+                    sum(q.wait_seconds for q in records) / len(records)
+                    if records else 0.0
+                ),
+                "mean_service": (
+                    sum(q.service_seconds for q in records) / len(records)
+                    if records else 0.0
+                ),
+                "aborts": float(sum(q.aborts for q in records)),
+                "wasted_seconds": sum(q.wasted_seconds for q in records),
+                "retries": float(sum(q.retries for q in records)),
+            }
+            if cls in targets:
+                target = targets[cls]
+                within = sum(1 for q in records if q.latency <= target)
+                entry["target"] = target
+                entry["attainment"] = (
+                    within / arrived if arrived else 1.0
+                )
+            ledger[cls] = entry
+        return ledger
+
+    def tenant_ledger(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant service ledger (empty for batch runs)."""
+        tenants = set(self.arrivals_by_tenant)
+        tenants.update(q.tenant for q in self.queries
+                       if q.tenant is not None)
+        ledger: Dict[str, Dict[str, float]] = {}
+        for tenant in sorted(tenants):
+            records = [q for q in self.queries if q.tenant == tenant]
+            latencies = sorted(q.latency for q in records)
+            ledger[tenant] = {
+                "arrivals": float(self.arrivals_by_tenant.get(
+                    tenant, len(records))),
+                "completed": float(len(records)),
+                "shed": float(self.sheds_by_tenant.get(tenant, 0)),
+                "degraded": float(self.degraded_by_tenant.get(tenant, 0)),
+                "cancelled": float(sum(
+                    1 for c in self.cancelled_queries
+                    if c.tenant == tenant)),
+                "p50": self._rank(latencies, 0.50),
+                "p99": self._rank(latencies, 0.99),
+                "mean_wait": (
+                    sum(q.wait_seconds for q in records) / len(records)
+                    if records else 0.0
+                ),
+                "aborts": float(self.aborts_by_tenant.get(tenant, 0)),
+                "wasted_seconds": self.wasted_by_tenant.get(tenant, 0.0),
+                "retries": float(self.retries_by_tenant.get(tenant, 0)),
+            }
+        return ledger
+
+    def tenant_fault_report(self) -> Dict[str, Dict[str, float]]:
+        """Chaos blame per tenant: fault-class counts plus abort,
+        wasted-time, and retry totals (empty when nothing faulted under
+        a tenant-attributed query)."""
+        report: Dict[str, Dict[str, float]] = {}
+        for (fault_class, tenant), count in sorted(
+                self.faults_by_tenant.items()):
+            entry = report.setdefault(tenant, {})
+            entry["fault_{}".format(fault_class)] = float(count)
+        for tenant in sorted(self.aborts_by_tenant):
+            entry = report.setdefault(tenant, {})
+            entry["aborts"] = float(self.aborts_by_tenant[tenant])
+            entry["wasted_seconds"] = self.wasted_by_tenant.get(
+                tenant, 0.0)
+        for tenant, count in sorted(self.retries_by_tenant.items()):
+            report.setdefault(tenant, {})["retries"] = float(count)
+        return report
+
+    def service_summary(self) -> Dict[str, float]:
+        """Service-mode view: open-system traffic, fair-share, and
+        epoch-mutation totals (all zero when no service harness ran)."""
+        return {
+            "arrivals": float(sum(self.arrivals_by_tenant.values())),
+            "tenants": float(len(self.arrivals_by_tenant)),
+            "tenant_sheds": float(sum(self.sheds_by_tenant.values())),
+            "tenant_degrades": float(sum(
+                self.degraded_by_tenant.values())),
+            "starvation_promotions": float(self.starvation_promotions),
+            "service_epochs": float(self.service_epochs),
+            "snapshots_retired": float(self.snapshots_retired),
+        }
 
     def lifecycle_summary(self) -> Dict[str, float]:
         """Query-lifecycle view: backpressure, deadline, cancel, and

@@ -20,6 +20,7 @@ from repro.storage.column import Column
 from repro.storage.blocks import ZoneMap, build_zone_map
 from repro.storage.table import Table
 from repro.storage.database import Database
+from repro.storage.epochs import EpochStore
 from repro.storage.statistics import AccessStatistics
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "Column",
     "ColumnType",
     "Database",
+    "EpochStore",
     "Table",
     "ZoneMap",
     "build_zone_map",

@@ -41,6 +41,12 @@ class Table:
                                      nominal_rows=self._nominal_rows)
         return self._attach(column)
 
+    def adopt_column(self, column: Column) -> Column:
+        """Attach an externally constructed :class:`Column` — epoch
+        snapshots build appended columns directly so dictionary-encoded
+        codes (and compression choices) carry over unchanged."""
+        return self._attach(column)
+
     def _attach(self, column: Column) -> Column:
         if column.name in self._columns:
             raise ValueError("duplicate column {}".format(column.key))

@@ -75,6 +75,23 @@ def test_compress_command(capsys):
     assert "total:" in out
 
 
+def test_serve_command(capsys):
+    code = main([
+        "serve", "--scale-factor", "0.01", "--data-scale", "0.01",
+        "--duration", "2", "--rate", "100", "--arrivals", "diurnal",
+        "--deadline", "0.05", "--target", "0.02",
+        "--mutation-interval", "1",
+        "--faults", "pcie=0.02,kernel=0.02,seed=5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "per-class SLO ledger" in out
+    assert "premium" in out and "best_effort" in out
+    assert "byte-identical to reference: True" in out
+    assert "conservation (arrivals == completed+shed+cancelled): True" in out
+    assert "epochs advanced:" in out
+
+
 def test_parser_rejects_bad_strategy():
     parser = build_parser()
     with pytest.raises(SystemExit):

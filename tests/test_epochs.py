@@ -1,0 +1,139 @@
+"""Table epochs: append snapshots, pinning, and cache retirement."""
+
+import numpy as np
+import pytest
+
+from repro.engine import execute_reference
+from repro.storage import Database, EpochStore
+from repro.workloads import ssb
+
+
+Q11 = (
+    "select sum(lo_extendedprice * lo_discount) as revenue "
+    "from lineorder, date where lo_orderdate = d_datekey "
+    "and d_year = 1993 and lo_discount between 1 and 3 "
+    "and lo_quantity < 25"
+)
+
+
+class TestAdvance:
+    def test_append_grows_fact_table(self, ssb_db):
+        store = EpochStore(ssb_db)
+        base_rows = ssb_db.table("lineorder").actual_rows
+        snapshot = store.advance(0.05)
+        grown = snapshot.table("lineorder")
+        batch = max(1, int(base_rows * 0.05))
+        assert grown.actual_rows == base_rows + batch
+        assert store.appended_rows["lineorder"] == batch
+        # the base database itself is untouched
+        assert ssb_db.table("lineorder").actual_rows == base_rows
+
+    def test_untouched_tables_shared_by_identity(self, ssb_db):
+        store = EpochStore(ssb_db)
+        snapshot = store.advance(0.05)
+        assert snapshot.table("date") is ssb_db.table("date")
+        assert snapshot.table("lineorder") is not ssb_db.table("lineorder")
+
+    def test_nominal_rows_scale_with_append(self, ssb_db):
+        store = EpochStore(ssb_db)
+        fact = ssb_db.table("lineorder")
+        snapshot = store.advance(0.10)
+        grown = snapshot.table("lineorder")
+        scale = grown.actual_rows / fact.actual_rows
+        assert grown.nominal_rows == int(round(fact.nominal_rows * scale))
+        for column in grown.columns:
+            base_col = fact.column(column.name)
+            assert column.nominal_rows > base_col.nominal_rows
+
+    def test_appended_columns_share_dictionary(self, ssb_db):
+        store = EpochStore(ssb_db)
+        snapshot = store.advance(0.05)
+        for column in snapshot.table("lineorder").columns:
+            base_col = ssb_db.table("lineorder").column(column.name)
+            if base_col.dictionary is not None:
+                assert column.dictionary is base_col.dictionary
+
+    def test_batch_is_prefix_of_existing_rows(self, ssb_db):
+        store = EpochStore(ssb_db)
+        snapshot = store.advance(0.05)
+        base_col = ssb_db.table("lineorder").column("lo_quantity")
+        grown_col = snapshot.table("lineorder").column("lo_quantity")
+        n = base_col.actual_rows
+        batch = grown_col.actual_rows - n
+        assert np.array_equal(grown_col.values[:n], base_col.values)
+        assert np.array_equal(grown_col.values[n:],
+                              base_col.values[:batch])
+
+    def test_explicit_target_tables(self, ssb_db):
+        store = EpochStore(ssb_db)
+        snapshot = store.advance(0.05, tables=["date"])
+        assert snapshot.table("date") is not ssb_db.table("date")
+        assert snapshot.table("lineorder") is ssb_db.table("lineorder")
+
+    def test_unknown_table_raises(self, ssb_db):
+        store = EpochStore(ssb_db)
+        with pytest.raises(KeyError):
+            store.advance(0.05, tables=["nope"])
+
+    def test_bad_fraction_raises(self, ssb_db):
+        store = EpochStore(ssb_db)
+        for fraction in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                store.advance(fraction)
+
+
+class TestReferenceOverEpochs:
+    def test_reference_results_differ_and_are_deterministic(self):
+        database = ssb.generate(scale_factor=0.01, data_scale=0.01,
+                                seed=99)
+        store = EpochStore(database)
+        query = ssb.workload(database, ["Q1.1"])[0]
+        base_rows = execute_reference(query.spec, database)
+        snapshot = store.advance(0.20)
+        fresh = ssb.workload(snapshot, ["Q1.1"])[0]
+        new_rows = execute_reference(fresh.spec, snapshot)
+        again = execute_reference(fresh.spec, snapshot)
+        assert new_rows == again
+        # a 20% append of rows matching a non-empty aggregate moves it
+        assert new_rows != base_rows
+        # and the base epoch still answers exactly as before
+        assert execute_reference(query.spec, database) == base_rows
+
+
+class TestPinning:
+    def test_pin_unpin_and_retire(self, ssb_db):
+        store = EpochStore(ssb_db)
+        epoch = store.pin()
+        assert epoch == 0
+        store.advance(0.05)
+        # epoch 0 is superseded but pinned: nothing retires
+        assert store.retire() == 0
+        assert store.live_epochs() == [0, 1]
+        assert store.unpin(0) == 1
+        assert store.live_epochs() == [1]
+
+    def test_head_never_retires(self, ssb_db):
+        store = EpochStore(ssb_db)
+        store.advance(0.05)
+        store.advance(0.05)
+        assert store.retire() == 2 - 0  # epochs 0 and 1, both unpinned
+        assert store.live_epochs() == [2]
+        assert store.retire() == 0
+
+    def test_unpin_without_pin_raises(self, ssb_db):
+        store = EpochStore(ssb_db)
+        with pytest.raises(ValueError):
+            store.unpin(0)
+
+    def test_pin_unknown_epoch_raises(self, ssb_db):
+        store = EpochStore(ssb_db)
+        with pytest.raises(KeyError):
+            store.pin(7)
+
+    def test_multiple_pins_block_retirement(self, ssb_db):
+        store = EpochStore(ssb_db)
+        store.pin(0)
+        store.pin(0)
+        store.advance(0.05)
+        assert store.unpin(0) == 0
+        assert store.unpin(0) == 1
